@@ -1,0 +1,28 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures:
+it runs the experiment exactly once under pytest-benchmark (the
+wall-clock number it reports is the cost of reproducing the figure),
+prints the figure's rows, writes them under ``results/`` and asserts
+the paper's qualitative claim — who wins and by roughly what factor.
+
+Scale: durations are simulated-milliseconds stand-ins for the paper's
+minutes-long testbed runs (see DESIGN.md).  Set ``REPRO_SCALE=full``
+for longer runs and more repetitions.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import common
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def emit(name: str, title: str, body: str) -> None:
+    """Print a figure's regenerated rows and persist them."""
+    text = f"=== {title} ===\n{body}"
+    print("\n" + text)
+    common.write_result(name, text)

@@ -1,0 +1,28 @@
+"""Figure 11: fluid-model parameter sweeps for convergence."""
+
+import pytest
+from conftest import emit, run_once
+
+from repro.experiments.sweeps import FIG11_PANELS, fig11_table, run_fig11_panel
+
+
+@pytest.mark.parametrize("panel", sorted(FIG11_PANELS))
+def test_fig11_sweep(benchmark, panel):
+    result = run_once(benchmark, lambda: run_fig11_panel(panel))
+    emit(
+        f"fig11_{panel}",
+        f"Figure 11 ({panel} sweep): steady rate gap of the 40G/5G flows",
+        fig11_table(panel, result),
+    )
+    diffs = result.final_diff_gbps()
+    if panel == "byte_counter":
+        # slowing the byte counter (150 KB -> 10 MB) shrinks the gap
+        assert diffs[-1] < diffs[0]
+    elif panel == "timer":
+        # the 55 us timer converges; the 1.5 ms strawman does not
+        assert diffs[-1] < diffs[0] / 3
+    elif panel == "pmax":
+        # probabilistic marking beats cut-off (Pmax = 1)
+        assert min(diffs[1:]) < diffs[0]
+    else:  # kmax: widening the RED segment changes convergence
+        assert len(diffs) == len(result.values)

@@ -1,0 +1,40 @@
+"""Figure 16: benchmark traffic vs incast degree, with/without DCQCN."""
+
+from conftest import emit, run_once
+
+from repro.experiments import common
+from repro.experiments.benchmark_traffic import (
+    RESULT_HEADERS,
+    fig16_table,
+    run_fig16,
+)
+
+
+def test_fig16_user_and_incast_throughput(benchmark):
+    degrees = common.pick((2, 6, 10), (2, 4, 6, 8, 10))
+    results = run_once(benchmark, lambda: run_fig16(degrees=degrees))
+    emit(
+        "fig16_benchmark_traffic",
+        "Figure 16: median / 10th-pct goodput of user pairs and incast "
+        "senders vs incast degree",
+        fig16_table(results),
+    )
+    none_runs = results["none"]
+    dcqcn_runs = results["dcqcn"]
+    hi = max(degrees)
+    lo = min(degrees)
+
+    # (a)/(b): without DCQCN user throughput collapses as incast deepens;
+    # with DCQCN it barely moves
+    assert none_runs[hi].user_p10_gbps() < none_runs[lo].user_p10_gbps()
+    assert dcqcn_runs[hi].user_median_gbps() > none_runs[hi].user_median_gbps()
+    assert dcqcn_runs[hi].user_p10_gbps() > 4 * max(none_runs[hi].user_p10_gbps(), 0.01)
+
+    # (d): DCQCN's incast tail sits near the ideal fair share 40/degree
+    ideal = 40.0 / hi
+    assert dcqcn_runs[hi].incast_p10_gbps() > 0.6 * ideal
+    assert none_runs[hi].incast_p10_gbps() < dcqcn_runs[hi].incast_p10_gbps()
+
+    # with DCQCN, median and tail are nearly identical (fair shares)
+    spread = dcqcn_runs[hi].incast_median_gbps() - dcqcn_runs[hi].incast_p10_gbps()
+    assert spread < 0.5 * ideal

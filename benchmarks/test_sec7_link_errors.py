@@ -1,0 +1,27 @@
+"""§7: sensitivity of RoCEv2's go-back-N to non-congestion losses."""
+
+from conftest import emit, run_once
+
+from repro.experiments.common import format_table
+from repro.experiments.link_errors import LOSS_HEADERS, run_loss_sweep
+
+
+def test_sec7_loss_sensitivity(benchmark):
+    points = run_once(benchmark, run_loss_sweep)
+    emit(
+        "sec7_link_errors",
+        "Section 7: goodput vs non-congestion loss rate (go-back-N vs "
+        "an idealized selective-repeat bound)",
+        format_table(LOSS_HEADERS, [p.row() for p in points]),
+    )
+    clean = points[0]
+    assert clean.goodput_gbps > 39
+    assert clean.retransmitted_packets == 0
+    # go-back-N degrades super-linearly: at 1% loss the gap to the
+    # selective-repeat bound is already large, and 5% is catastrophic
+    by_rate = {p.loss_rate: p for p in points}
+    assert by_rate[0.01].goodput_gbps < by_rate[0.01].ideal_selective_gbps - 3
+    assert by_rate[0.05].goodput_gbps < 0.5 * by_rate[0.05].ideal_selective_gbps
+    # losses strictly monotonically hurt
+    goodputs = [p.goodput_gbps for p in points]
+    assert goodputs == sorted(goodputs, reverse=True)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Tuning DCQCN with the fluid model, the way the paper's §5 does.
+
+Walks the same path as the paper: start from the QCN/DCTCP "strawman"
+parameters, watch the two-flow fluid model fail to converge, then fix
+it by (a) speeding up the rate-increase timer and (b) switching to
+RED-like probabilistic marking — and finally sanity-check the chosen
+operating point against the model's fixed point and the buffer
+thresholds of §4.
+
+Run:  python examples/parameter_tuning.py
+"""
+
+import numpy as np
+
+from repro import units
+from repro.buffers import plan_thresholds
+from repro.fluid import (
+    FluidParams,
+    simulate_two_flow_convergence,
+    solve_fixed_point,
+    sweep_pmax,
+    sweep_timer,
+)
+
+
+def gap_after(trace, seconds: float) -> float:
+    """|r1 - r2| (Gbps) averaged over the tail of the run."""
+    mask = trace.times_s >= seconds
+    diff = np.abs(trace.rc_bps[mask, 0, 0] - trace.rc_bps[mask, 0, 1])
+    return float(diff.mean() / 1e9)
+
+
+def main() -> None:
+    strawman = FluidParams(
+        kmin_bytes=units.kb(40), kmax_bytes=units.kb(40), pmax=1.0,
+        g=1.0 / 16.0, timer_s=1.5e-3, byte_counter_bytes=units.kb(150),
+    )
+    trace = simulate_two_flow_convergence(strawman, duration_s=0.1)
+    print(f"strawman (QCN/DCTCP defaults): steady rate gap "
+          f"{gap_after(trace, 0.05):.1f} Gbps  -> flows never converge")
+
+    timer_sweep = sweep_timer(duration_s=0.1)
+    print("\nrate-increase timer sweep (10 MB byte counter):")
+    for value, diff in zip(timer_sweep.values, timer_sweep.final_diff_gbps()):
+        print(f"  T = {value * 1e6:7.0f} us   steady gap {diff:5.2f} Gbps")
+    print(f"  -> fastest legal timer ({timer_sweep.best_value() * 1e6:.0f} us; "
+          "it may not undercut the 50 us CNP interval) wins")
+
+    pmax_sweep = sweep_pmax(duration_s=0.1)
+    print("\nPmax sweep (RED segment Kmin=5KB..Kmax=200KB, slow timer):")
+    for value, diff in zip(pmax_sweep.values, pmax_sweep.final_diff_gbps()):
+        print(f"  Pmax = {value:5.2f}   steady gap {diff:5.2f} Gbps")
+    print("  -> probabilistic marking with small Pmax also restores fairness")
+
+    deployed = FluidParams()  # Table 14
+    fp = solve_fixed_point(deployed)
+    print(f"\ndeployed parameters, 2-flow fixed point: "
+          f"p* = {fp.p * 100:.3f}%  (paper: 'p is less than 1%'), "
+          f"queue* = {fp.queue_bytes / 1e3:.1f} KB "
+          f"(an order of magnitude above the 5 KB Kmin)")
+
+    plan = plan_thresholds()
+    print(f"\nswitch thresholds (Trident II, beta=8): Kmin = "
+          f"{plan.kmin_bytes / 1e3:.0f} KB < dynamic t_ECN bound "
+          f"{plan.ecn_bound_dynamic_bytes / 1e3:.2f} KB -> "
+          f"ECN always fires before PFC: {plan.ecn_before_pfc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Statistics helpers used by experiments and benchmarks."""
+
+from repro.analysis.stats import (
+    percentile,
+    cdf_points,
+    jain_fairness,
+    summarize,
+    Summary,
+)
+
+__all__ = ["percentile", "cdf_points", "jain_fairness", "summarize", "Summary"]

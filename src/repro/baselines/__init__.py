@@ -1,0 +1,22 @@
+"""Comparison transports.
+
+* :mod:`repro.baselines.dctcp` — window-based DCTCP (used for the
+  Figure 19 queue-length comparison; DCTCP needs a deep marking
+  threshold to absorb bursts, DCQCN does not).
+* :mod:`repro.baselines.qcn` — 802.1Qau QCN quantized-feedback rate
+  control (the L2-only predecessor DCQCN builds on, §2.3).
+* PFC-only (no end-to-end control) is expressed as ``cc="none"`` on
+  :meth:`repro.sim.network.Network.add_flow`.
+"""
+
+from repro.baselines.dctcp import DctcpFlow, add_dctcp_flow
+from repro.baselines.qcn import QcnFlow, QcnSwitchMixin, QcnSwitch, add_qcn_flow
+
+__all__ = [
+    "DctcpFlow",
+    "add_dctcp_flow",
+    "QcnFlow",
+    "QcnSwitchMixin",
+    "QcnSwitch",
+    "add_qcn_flow",
+]

@@ -1,0 +1,32 @@
+"""DCQCN: the paper's primary contribution.
+
+The algorithm has three components (paper §3.1):
+
+* :mod:`repro.core.cp` — congestion point (switch): RED-style ECN
+  marking on the egress queue.
+* :mod:`repro.core.np` — notification point (receiving NIC): turns
+  ECN-marked arrivals into Congestion Notification Packets, rate
+  limited to one per flow per ``cnp_interval``.
+* :mod:`repro.core.rp` — reaction point (sending NIC): DCTCP-style
+  multiplicative decrease driven by CNPs plus QCN-style byte-counter /
+  timer rate increase (fast recovery, additive increase, hyper
+  increase).
+
+:mod:`repro.core.params` carries the deployed parameter values
+(paper Table 14) and the QCN/DCTCP "strawman" values that §5.2 shows
+failing to converge.
+"""
+
+from repro.core.params import DCQCNParams
+from repro.core.cp import RedEcnMarker, marking_probability
+from repro.core.np import NotificationPoint
+from repro.core.rp import ReactionPoint, RpPhase
+
+__all__ = [
+    "DCQCNParams",
+    "RedEcnMarker",
+    "marking_probability",
+    "NotificationPoint",
+    "ReactionPoint",
+    "RpPhase",
+]

@@ -1,0 +1,56 @@
+"""NP algorithm — CNP generation at the receiving NIC.
+
+Paper §3.1 / Figure 6: "If a marked packet arrives for a flow, and no
+CNP has been sent for the flow in the last N microseconds, a CNP is
+sent immediately.  Then, the NIC generates at most one CNP packet every
+N microseconds for the flow, if any packet that arrives within that
+time window was marked."
+
+The deployment uses ``N = 50 µs`` — the ConnectX-3 Pro CNP generation
+limit (one CNP per 1–5 µs overall, shared across flows; the per-flow
+window keeps the aggregate load feasible for 10–20 congested flows).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class NotificationPoint:
+    """Per-flow CNP pacing state.
+
+    Parameters
+    ----------
+    cnp_interval_ns:
+        The window ``N``.
+    send_cnp:
+        Callback invoked (with no arguments) when a CNP must be emitted
+        for this flow; the NIC wires this to its transmit path.
+    """
+
+    __slots__ = ("cnp_interval_ns", "_send_cnp", "_last_cnp_ns", "cnps_sent", "marked_seen")
+
+    def __init__(self, cnp_interval_ns: int, send_cnp: Callable[[], None]):
+        if cnp_interval_ns <= 0:
+            raise ValueError("cnp_interval_ns must be positive")
+        self.cnp_interval_ns = cnp_interval_ns
+        self._send_cnp = send_cnp
+        self._last_cnp_ns = -(1 << 62)  # "never"
+        self.cnps_sent = 0
+        self.marked_seen = 0
+
+    def on_data_packet(self, now_ns: int, ce_marked: bool) -> bool:
+        """Process one arriving data packet; returns True if a CNP fired.
+
+        Unmarked packets generate no feedback ("no CNPs are generated
+        in the common case of no congestion").
+        """
+        if not ce_marked:
+            return False
+        self.marked_seen += 1
+        if now_ns - self._last_cnp_ns < self.cnp_interval_ns:
+            return False
+        self._last_cnp_ns = now_ns
+        self.cnps_sent += 1
+        self._send_cnp()
+        return True

@@ -1,0 +1,153 @@
+"""DCQCN parameter sets.
+
+``DCQCNParams.deployed()`` is the paper's Table 14 — the values chosen
+via the fluid-model analysis of §5 and used in Microsoft's datacenters:
+
+====================  ==========
+rate-increase timer    55 µs
+byte counter           10 MB
+Kmax                   200 KB
+Kmin                   5 KB
+Pmax                   1 %
+g                      1/256
+====================  ==========
+
+``DCQCNParams.strawman()`` is the §5.2 starting point taken verbatim
+from the QCN and DCTCP specifications (byte counter 150 KB, timer
+1.5 ms, cut-off marking at 40 KB, g = 1/16), which the paper shows
+cannot converge to fairness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro import units
+
+
+@dataclass(frozen=True)
+class DCQCNParams:
+    """Every tunable of the DCQCN state machines.
+
+    Attributes
+    ----------
+    kmin_bytes, kmax_bytes, pmax:
+        CP (switch) RED-ECN marking profile — Figure 5.  Setting
+        ``kmin == kmax`` and ``pmax = 1`` gives DCTCP-style cut-off
+        marking.
+    cnp_interval_ns:
+        NP parameter ``N``: at most one CNP per flow per interval
+        (50 µs in the deployment; a ConnectX-3 Pro hardware limit).
+    alpha_timer_ns:
+        RP parameter ``K``: with no CNP for this long, alpha decays by
+        ``(1 - g)``.  Must exceed ``cnp_interval_ns`` (paper §3.1).
+    g:
+        EWMA gain of the alpha estimator (Equation 1).
+    rate_increase_timer_ns:
+        RP timer ``T`` driving time-based rate-increase events.
+    byte_counter_bytes:
+        RP byte counter ``B``: one rate-increase event per ``B`` bytes
+        sent.
+    fast_recovery_threshold:
+        ``F``: number of byte-counter/timer iterations spent in fast
+        recovery before additive increase begins (fixed at 5).
+    rai_bps / rhai_bps:
+        Additive and hyper rate-increase steps (40 / 400 Mbps).
+    min_rate_bps:
+        Floor for the current rate; hardware rate limiters cannot pace
+        arbitrarily slowly.
+    initial_alpha:
+        Alpha before the first CNP (1.0 per Equation 1's footnote).
+    """
+
+    # CP — switch marking (Figure 5)
+    kmin_bytes: int = units.kb(5)
+    kmax_bytes: int = units.kb(200)
+    pmax: float = 0.01
+    # NP — CNP generation (Figure 6)
+    cnp_interval_ns: int = units.us(50)
+    # RP — rate computation (Figure 7 / Equations 1-4)
+    alpha_timer_ns: int = units.us(55)
+    g: float = 1.0 / 256.0
+    rate_increase_timer_ns: int = units.us(55)
+    #: uniform ± skew applied to each timer firing — NIC firmware
+    #: timers are not phase-locked across flows, and modelling that
+    #: skew is what keeps N synchronized flows from cutting and
+    #: recovering in lockstep (see PeriodicTimer).
+    rate_increase_timer_jitter_ns: int = units.us(4)
+    byte_counter_bytes: int = units.mb(10)
+    fast_recovery_threshold: int = 5
+    rai_bps: float = units.mbps(40)
+    rhai_bps: float = units.mbps(400)
+    min_rate_bps: float = units.mbps(1)
+    initial_alpha: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kmin_bytes < 0 or self.kmax_bytes < self.kmin_bytes:
+            raise ValueError(
+                f"need 0 <= kmin <= kmax, got {self.kmin_bytes}, {self.kmax_bytes}"
+            )
+        if not 0.0 < self.pmax <= 1.0:
+            raise ValueError(f"pmax must be in (0, 1], got {self.pmax}")
+        if not 0.0 < self.g <= 1.0:
+            raise ValueError(f"g must be in (0, 1], got {self.g}")
+        if self.cnp_interval_ns <= 0:
+            raise ValueError("cnp_interval_ns must be positive")
+        if self.alpha_timer_ns < self.cnp_interval_ns:
+            raise ValueError(
+                "alpha timer K must be larger than the CNP generation "
+                f"interval N ({self.alpha_timer_ns} < {self.cnp_interval_ns})"
+            )
+        if self.rate_increase_timer_ns < self.cnp_interval_ns:
+            raise ValueError(
+                "rate-increase timer cannot be smaller than the CNP "
+                "generation interval (paper §5.2)"
+            )
+        if not 0 <= self.rate_increase_timer_jitter_ns < self.rate_increase_timer_ns:
+            raise ValueError("timer jitter must be in [0, timer period)")
+        if self.byte_counter_bytes <= 0:
+            raise ValueError("byte counter must be positive")
+        if self.fast_recovery_threshold < 1:
+            raise ValueError("fast recovery threshold F must be >= 1")
+        if min(self.rai_bps, self.rhai_bps, self.min_rate_bps) <= 0:
+            raise ValueError("rate steps and min rate must be positive")
+
+    @classmethod
+    def deployed(cls) -> "DCQCNParams":
+        """Table 14 — the values used in the paper's datacenters."""
+        return cls()
+
+    @classmethod
+    def strawman(cls) -> "DCQCNParams":
+        """§5.2 starting point: QCN/DCTCP-recommended values.
+
+        Cut-off marking at 40 KB (``kmin == kmax``, ``pmax = 1``), QCN
+        byte counter of 150 KB with the 1.5 ms timer, and DCTCP's
+        ``g = 1/16``.  The paper shows flows cannot converge to
+        fairness with these settings (Figure 11a, Figure 13a).
+        """
+        return cls(
+            kmin_bytes=units.kb(40),
+            kmax_bytes=units.kb(40),
+            pmax=1.0,
+            g=1.0 / 16.0,
+            rate_increase_timer_ns=units.ms(1.5),
+            byte_counter_bytes=units.kb(150),
+        )
+
+    def with_cutoff_marking(self, threshold_bytes: int) -> "DCQCNParams":
+        """DCTCP-like marking: mark everything above ``threshold_bytes``."""
+        return replace(
+            self,
+            kmin_bytes=threshold_bytes,
+            kmax_bytes=threshold_bytes,
+            pmax=1.0,
+        )
+
+    def with_red_marking(
+        self, kmin_bytes: int, kmax_bytes: int, pmax: float
+    ) -> "DCQCNParams":
+        """RED-like probabilistic marking profile (the deployed choice)."""
+        return replace(
+            self, kmin_bytes=kmin_bytes, kmax_bytes=kmax_bytes, pmax=pmax
+        )

@@ -1,0 +1,225 @@
+"""Discrete-event scheduler with an integer-nanosecond clock.
+
+The engine is deliberately minimal: a binary heap of
+``[time, seq, fn, args]`` entries.  Three design points matter for the
+rest of the library:
+
+* **Integer time.**  All timestamps are integer nanoseconds, so event
+  ordering is exact and runs are bit-for-bit reproducible.
+* **Deterministic tie-breaking.**  Events scheduled for the same tick
+  fire in the order they were scheduled (a monotonically increasing
+  sequence number breaks heap ties), so a seeded simulation never
+  depends on hash order or heap internals.
+* **Cheap comparisons.**  Heap entries are plain lists whose first two
+  elements are ints; the sequence number is unique, so list comparison
+  never reaches the callback and runs entirely in C.
+
+Cancellation is done by clearing the entry's callback rather than
+re-heapifying; cancelled entries are skipped when popped.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+# entry layout: [time, seq, fn_or_None, args]
+_TIME = 0
+_SEQ = 1
+_FN = 2
+_ARGS = 3
+
+
+class Event:
+    """Handle for a scheduled callback; supports :meth:`cancel`."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: list):
+        self._entry = entry
+
+    @property
+    def time(self) -> int:
+        return self._entry[_TIME]
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry[_FN] is None
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self._entry[_FN] = None
+        self._entry[_ARGS] = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time}ns, {state})"
+
+
+class EventScheduler:
+    """Priority-queue event loop over integer-nanosecond simulated time."""
+
+    def __init__(self) -> None:
+        self._heap: List[list] = []
+        self._now: int = 0
+        self._seq: int = 0
+        self.events_processed: int = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    def schedule_at(self, time: int, fn: Callable, *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute ``time`` (ns).
+
+        Scheduling in the past raises ``ValueError`` — the simulation is
+        causal by construction.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at t={time}ns before now={self._now}ns"
+            )
+        entry = [time, self._seq, fn, args]
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        return Event(entry)
+
+    def schedule(self, delay: int, fn: Callable, *args: Any) -> Event:
+        """Schedule ``fn(*args)`` after ``delay`` nanoseconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}ns")
+        entry = [self._now + delay, self._seq, fn, args]
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        return Event(entry)
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the next pending event, or ``None`` if drained."""
+        heap = self._heap
+        while heap and heap[0][_FN] is None:
+            heapq.heappop(heap)
+        return heap[0][_TIME] if heap else None
+
+    def step(self) -> bool:
+        """Run the next event.  Returns ``False`` when no events remain."""
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            entry = pop(heap)
+            fn = entry[_FN]
+            if fn is None:
+                continue
+            self._now = entry[_TIME]
+            self.events_processed += 1
+            fn(*entry[_ARGS])
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the heap drains (or ``max_events``); returns count run."""
+        count = 0
+        while self.step():
+            count += 1
+            if max_events is not None and count >= max_events:
+                break
+        return count
+
+    def run_until(self, time: int) -> None:
+        """Run every event with timestamp ``<= time``, then set now=time.
+
+        This is the main driver for fixed-duration experiments.  The
+        clock is advanced to ``time`` even if the heap drains early, so
+        rate computations over the window stay well-defined.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        processed = 0
+        while heap:
+            entry = heap[0]
+            if entry[_TIME] > time:
+                break
+            pop(heap)
+            fn = entry[_FN]
+            if fn is None:
+                continue
+            self._now = entry[_TIME]
+            processed += 1
+            fn(*entry[_ARGS])
+        self.events_processed += processed
+        if time > self._now:
+            self._now = time
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for entry in self._heap if entry[_FN] is not None)
+
+
+class PeriodicTimer:
+    """Restartable periodic timer built on :class:`EventScheduler`.
+
+    Used for the DCQCN RP rate-increase timer, which is *reset*
+    whenever a CNP arrives.
+
+    ``jitter_ns`` adds an independent uniform ±jitter to every firing,
+    modelling firmware timer skew.  Real NICs do not tick in lockstep;
+    without jitter, N identical flows cut and recover in phase and the
+    simulated queue oscillates far more than hardware does.
+    """
+
+    __slots__ = ("_engine", "_period", "_fn", "_event", "running", "_jitter", "_rng")
+
+    def __init__(
+        self,
+        engine: EventScheduler,
+        period: int,
+        fn: Callable[[], None],
+        jitter_ns: int = 0,
+        seed: Optional[int] = None,
+    ):
+        if period <= 0:
+            raise ValueError(f"timer period must be positive, got {period}ns")
+        if jitter_ns < 0 or jitter_ns >= period:
+            if jitter_ns != 0:
+                raise ValueError("jitter must be in [0, period)")
+        self._engine = engine
+        self._period = period
+        self._fn = fn
+        self._event: Optional[Event] = None
+        self.running = False
+        self._jitter = jitter_ns
+        if jitter_ns:
+            import random
+
+            self._rng = random.Random(seed)
+        else:
+            self._rng = None
+
+    @property
+    def period(self) -> int:
+        return self._period
+
+    def _next_delay(self) -> int:
+        if self._rng is None:
+            return self._period
+        return self._period + self._rng.randint(-self._jitter, self._jitter)
+
+    def start(self) -> None:
+        """(Re)arm the timer; the first firing is one period from now."""
+        self.stop()
+        self.running = True
+        self._event = self._engine.schedule(self._next_delay(), self._fire)
+
+    # reset is an alias that reads naturally at DCQCN call sites
+    reset = start
+
+    def stop(self) -> None:
+        """Disarm the timer."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        self.running = False
+
+    def _fire(self) -> None:
+        self._event = self._engine.schedule(self._next_delay(), self._fire)
+        self._fn()

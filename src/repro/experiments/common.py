@@ -1,0 +1,62 @@
+"""Shared experiment plumbing: scaling, tables, result files."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Sequence
+
+#: environment variable selecting run scale
+SCALE_ENV = "REPRO_SCALE"
+
+
+def scale() -> str:
+    """``"quick"`` (default) or ``"full"`` — from ``REPRO_SCALE``."""
+    value = os.environ.get(SCALE_ENV, "quick").lower()
+    if value not in ("quick", "full"):
+        raise ValueError(f"{SCALE_ENV} must be 'quick' or 'full', got {value!r}")
+    return value
+
+
+def pick(quick_value, full_value):
+    """Choose a knob by run scale."""
+    return full_value if scale() == "full" else quick_value
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Monospace table matching the style used in EXPERIMENTS.md."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def results_dir() -> Path:
+    """Directory where benchmarks drop their regenerated tables."""
+    root = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist one experiment's table; returns the path written."""
+    path = results_dir() / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+def gbps(value_bps: float) -> float:
+    return value_bps / 1e9
+
+
+def fmt_gbps(value_bps: float) -> str:
+    return f"{value_bps / 1e9:.2f}"
+
+
+def seeds_for(repetitions: int, base: int = 1000) -> List[int]:
+    """Deterministic, well-spread seeds for repeated runs."""
+    return [base + 7919 * rep for rep in range(repetitions)]

@@ -1,0 +1,94 @@
+"""Non-congestion packet losses (paper §7 discussion).
+
+The paper closes by noting that DCQCN assumes losses are congestion
+losses prevented by PFC; *non-congestion* losses (bad optics, CRC
+errors) interact badly with the NICs' go-back-N recovery: one lost
+frame forces the sender to rewind and retransmit everything in flight,
+so goodput collapses at loss rates that would barely dent a SACK-style
+transport.
+
+This experiment injects a per-frame error probability on the host's
+access link and measures goodput versus loss rate.  An idealized
+"selective repeat" upper bound (goodput = line rate x (1 - p)) is
+printed alongside, making the go-back-N penalty visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro import units
+from repro.experiments import common
+from repro.sim.nic import NicConfig
+from repro.sim.topology import single_switch
+
+
+@dataclass
+class LossSweepPoint:
+    """Goodput at one injected loss rate."""
+
+    loss_rate: float
+    goodput_gbps: float
+    ideal_selective_gbps: float
+    retransmitted_packets: int
+    rto_fires: int
+
+    @property
+    def efficiency(self) -> float:
+        """Goodput relative to the loss-free ideal."""
+        return self.goodput_gbps / 40.0
+
+    def row(self) -> List[str]:
+        return [
+            f"{self.loss_rate:.2%}",
+            f"{self.goodput_gbps:.2f}",
+            f"{self.ideal_selective_gbps:.2f}",
+            str(self.retransmitted_packets),
+            str(self.rto_fires),
+        ]
+
+
+LOSS_HEADERS = [
+    "loss rate",
+    "go-back-N Gbps",
+    "selective-repeat bound Gbps",
+    "retransmits",
+    "RTO fires",
+]
+
+
+def run_loss_point(
+    loss_rate: float,
+    duration_ns: Optional[int] = None,
+    rto_ns: int = units.ms(1),
+    seed: int = 97,
+) -> LossSweepPoint:
+    """One greedy flow through a lossy access link."""
+    duration_ns = duration_ns or common.pick(units.ms(10), units.ms(30))
+    net, switch, hosts = single_switch(
+        3, seed=seed, nic_config=NicConfig(rto_ns=rto_ns)
+    )
+    sender, receiver = hosts[0], hosts[2]
+    # corrupt frames on the switch->receiver hop (data direction only;
+    # ACKs/NACKs ride the clean reverse hop)
+    switch.port_to(receiver.nic).set_error_rate(loss_rate, seed=seed + 1)
+    flow = net.add_flow(sender, receiver, cc="dcqcn")
+    flow.set_greedy()
+    net.run_for(duration_ns)
+    goodput = flow.bytes_delivered * 8e9 / duration_ns / 1e9
+    return LossSweepPoint(
+        loss_rate=loss_rate,
+        goodput_gbps=goodput,
+        ideal_selective_gbps=40.0 * (1.0 - loss_rate),
+        retransmitted_packets=flow.retransmitted_packets,
+        rto_fires=sender.nic.rto_fires,
+    )
+
+
+def run_loss_sweep(
+    loss_rates: Sequence[float] = (0.0, 1e-4, 1e-3, 0.01, 0.05),
+    **kwargs,
+) -> List[LossSweepPoint]:
+    """Goodput vs injected loss rate (the §7 sensitivity)."""
+    return [run_loss_point(rate, **kwargs) for rate in loss_rates]

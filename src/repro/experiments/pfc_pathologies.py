@@ -1,0 +1,187 @@
+"""PFC pathologies and their DCQCN fix (Figures 3, 4, 8, 9).
+
+Two scenarios on the 3-tier Clos testbed of Figure 2:
+
+* **Unfairness / parking lot (Figs 3, 8).**  H1-H3 (under T1-T3) and
+  H4 (under T4) all write to R (under T4).  With PFC alone, T4 pauses
+  its ports indiscriminately: the port from H4 carries one flow while
+  the two leaf uplinks carry H1-H3 between them (per ECMP's coin
+  flips), so H4 robs throughput.  With DCQCN, all four converge to a
+  fair quarter of the bottleneck.
+
+* **Victim flow (Figs 4, 9).**  H11-H14 (under T1) incast into R
+  (under T4) while a victim VS (under T1) sends to VR (under T2) —
+  a path that shares no congested link with the incast.  Cascading
+  PAUSEs (T4 -> leaves -> spines -> ... -> T1) still throttle VS, and
+  adding senders H31, H32 under T3 makes it worse.  DCQCN keeps the
+  incast flows paced, PFC quiet, and the victim at full rate.
+
+Each repetition reseeds the network so ECMP re-rolls flow placement —
+the paper's run-to-run spread (min/median/max) is exactly this ECMP
+randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro import units
+from repro.analysis.stats import percentile
+from repro.core.params import DCQCNParams
+from repro.experiments import common
+from repro.sim.switch import SwitchConfig
+from repro.sim.topology import three_tier_clos
+
+
+@dataclass
+class UnfairnessResult:
+    """Per-host throughput distribution across repetitions (Figs 3/8)."""
+
+    cc: str
+    repetitions: int
+    duration_ms: float
+    #: host name -> list of per-run mean throughputs (bps)
+    throughputs_bps: Dict[str, List[float]] = field(default_factory=dict)
+    pause_frames: List[int] = field(default_factory=list)
+
+    def stats_gbps(self, host: str):
+        samples = self.throughputs_bps[host]
+        return (
+            min(samples) / 1e9,
+            percentile(samples, 50) / 1e9,
+            max(samples) / 1e9,
+        )
+
+    def table(self) -> str:
+        rows = []
+        for host in sorted(self.throughputs_bps):
+            lo, med, hi = self.stats_gbps(host)
+            rows.append([host, f"{lo:.2f}", f"{med:.2f}", f"{hi:.2f}"])
+        return common.format_table(
+            ["host", "min Gbps", "median Gbps", "max Gbps"], rows
+        )
+
+
+def run_unfairness(
+    cc: str = "none",
+    repetitions: Optional[int] = None,
+    duration_ns: Optional[int] = None,
+    warmup_ns: Optional[int] = None,
+    params: Optional[DCQCNParams] = None,
+    switch_config: Optional[SwitchConfig] = None,
+    mtu_bytes: int = 1000,
+) -> UnfairnessResult:
+    """Figure 3 (``cc="none"``) / Figure 8 (``cc="dcqcn"``)."""
+    repetitions = repetitions or common.pick(4, 10)
+    duration_ns = duration_ns or common.pick(units.ms(10), units.ms(30))
+    if warmup_ns is None:
+        # DCQCN's additive increase needs ~15 ms to converge after the
+        # initial line-rate burst; measure steady state, as the paper's
+        # long transfers do.
+        warmup_ns = common.pick(units.ms(15), units.ms(30)) if cc == "dcqcn" else 0
+    result = UnfairnessResult(
+        cc=cc, repetitions=repetitions, duration_ms=duration_ns / 1e6
+    )
+    sender_names = ["H1", "H2", "H3", "H4"]
+    for name in sender_names:
+        result.throughputs_bps[name] = []
+    for seed in common.seeds_for(repetitions):
+        spec = three_tier_clos(
+            hosts_per_tor=2,
+            seed=seed,
+            dcqcn_params=params,
+            switch_config=switch_config,
+        )
+        receiver = spec.host(3, 1)  # second host under T4
+        senders = [spec.host(tor, 0) for tor in range(4)]  # H1..H4
+        flows = []
+        for sender in senders:
+            flow = spec.net.add_flow(sender, receiver, cc=cc, mtu_bytes=mtu_bytes)
+            flow.set_greedy()
+            flows.append(flow)
+        spec.net.run_for(warmup_ns)
+        baseline = [flow.bytes_delivered for flow in flows]
+        spec.net.run_for(duration_ns)
+        for name, flow, before in zip(sender_names, flows, baseline):
+            result.throughputs_bps[name].append(
+                (flow.bytes_delivered - before) * 8e9 / duration_ns
+            )
+        result.pause_frames.append(spec.net.total_pause_frames_sent())
+    return result
+
+
+@dataclass
+class VictimFlowResult:
+    """Victim throughput vs number of extra senders under T3 (Figs 4/9)."""
+
+    cc: str
+    repetitions: int
+    duration_ms: float
+    #: senders under T3 -> per-run victim throughput (bps)
+    victim_bps: Dict[int, List[float]] = field(default_factory=dict)
+
+    def median_gbps(self, t3_senders: int) -> float:
+        return percentile(self.victim_bps[t3_senders], 50) / 1e9
+
+    def table(self) -> str:
+        rows = [
+            [n, f"{self.median_gbps(n):.2f}"]
+            for n in sorted(self.victim_bps)
+        ]
+        return common.format_table(
+            ["senders under T3", "victim median Gbps"], rows
+        )
+
+
+def run_victim_flow(
+    cc: str = "none",
+    t3_sender_counts: Sequence[int] = (0, 1, 2),
+    repetitions: Optional[int] = None,
+    duration_ns: Optional[int] = None,
+    warmup_ns: Optional[int] = None,
+    params: Optional[DCQCNParams] = None,
+    switch_config: Optional[SwitchConfig] = None,
+    mtu_bytes: int = 1000,
+) -> VictimFlowResult:
+    """Figure 4 (``cc="none"``) / Figure 9 (``cc="dcqcn"``).
+
+    VS (under T1) sends to VR (under T2); H11-H14 (under T1) and
+    0-2 extra senders under T3 incast into R (under T4).
+    """
+    repetitions = repetitions or common.pick(4, 10)
+    duration_ns = duration_ns or common.pick(units.ms(10), units.ms(30))
+    if warmup_ns is None:
+        # The victim must climb back from the initial all-at-line-rate
+        # melee at ~0.7 Gbps/ms (additive increase), so it needs a
+        # longer warmup than the symmetric unfairness scenario.
+        warmup_ns = common.pick(units.ms(30), units.ms(60)) if cc == "dcqcn" else 0
+    result = VictimFlowResult(
+        cc=cc, repetitions=repetitions, duration_ms=duration_ns / 1e6
+    )
+    for count in t3_sender_counts:
+        result.victim_bps[count] = []
+        for seed in common.seeds_for(repetitions, base=2000 + 100 * count):
+            spec = three_tier_clos(
+                hosts_per_tor=5,
+                seed=seed,
+                dcqcn_params=params,
+                switch_config=switch_config,
+            )
+            receiver = spec.host(3, 0)  # R under T4
+            incast_senders = [spec.host(0, i) for i in range(4)]  # H11-H14
+            incast_senders += [spec.host(2, i) for i in range(count)]  # H31, H32
+            victim_src = spec.host(0, 4)  # VS under T1
+            victim_dst = spec.host(1, 0)  # VR under T2
+            for sender in incast_senders:
+                flow = spec.net.add_flow(sender, receiver, cc=cc, mtu_bytes=mtu_bytes)
+                flow.set_greedy()
+            victim = spec.net.add_flow(victim_src, victim_dst, cc=cc, mtu_bytes=mtu_bytes)
+            victim.set_greedy()
+            spec.net.run_for(warmup_ns)
+            before = victim.bytes_delivered
+            spec.net.run_for(duration_ns)
+            result.victim_bps[count].append(
+                (victim.bytes_delivered - before) * 8e9 / duration_ns
+            )
+    return result

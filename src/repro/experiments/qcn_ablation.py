@@ -1,0 +1,118 @@
+"""DCQCN vs QCN ablation (paper §2.3 rationale).
+
+QCN works within one L2 domain: on a single switch it provides
+flow-level control much like DCQCN.  The paper's complaint is not that
+QCN's control law is broken but that it *cannot be deployed* on
+IP-routed fabrics (flows are identified by L2 addresses, which
+routing rewrites).  This ablation shows both halves:
+
+* on a single switch, QCN and DCQCN both restore fairness relative to
+  PFC-only;
+* on the routed Clos, QCN's feedback cannot identify flows across the
+  IP boundary, so it must be disabled — the PFC pathologies return
+  (we model the restriction by simply not deploying QCN there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro import units
+from repro.analysis.stats import jain_fairness
+from repro.baselines.qcn import QcnSwitch, add_qcn_flow
+from repro.core.params import DCQCNParams
+from repro.experiments import common
+from repro.sim.network import Network
+from repro.sim.switch import SwitchConfig
+
+
+@dataclass
+class SingleSwitchFairnessResult:
+    """N:1 incast fairness under one control scheme."""
+
+    scheme: str
+    per_flow_gbps: List[float]
+    fairness: float
+    total_gbps: float
+
+    def row(self) -> List[str]:
+        return [
+            self.scheme,
+            f"{self.total_gbps:.1f}",
+            f"{self.fairness:.3f}",
+            f"{min(self.per_flow_gbps):.2f}",
+            f"{max(self.per_flow_gbps):.2f}",
+        ]
+
+
+ABLATION_HEADERS = ["scheme", "total Gbps", "Jain", "min Gbps", "max Gbps"]
+
+
+def _build_single_switch_net(scheme: str, n_hosts: int, seed: int):
+    """Like topology.single_switch but with a QCN CP when asked."""
+    params = DCQCNParams.deployed()
+    net = Network(seed=seed, dcqcn_params=params)
+    config = SwitchConfig(marking=params)
+    if scheme == "qcn":
+        switch = QcnSwitch(
+            net.engine, net._device_id(), "S1", config=config,
+            ecmp_salt=net.rng.getrandbits(64),
+        )
+        net.switches.append(switch)
+    else:
+        switch = net.new_switch("S1", config=config)
+    hosts = []
+    for index in range(n_hosts):
+        host = net.new_host(f"H{index + 1}")
+        net.connect(host, switch)
+        hosts.append(host)
+    net.build_routes()
+    return net, switch, hosts
+
+
+def run_single_switch_fairness(
+    scheme: str,
+    n_senders: int = 4,
+    warmup_ns: Optional[int] = None,
+    measure_ns: Optional[int] = None,
+    seed: int = 61,
+) -> SingleSwitchFairnessResult:
+    """N:1 incast with ``scheme`` in {"none", "qcn", "dcqcn"}."""
+    if scheme not in ("none", "qcn", "dcqcn"):
+        raise ValueError(f"unknown scheme {scheme!r}")
+    warmup_ns = warmup_ns if warmup_ns is not None else common.pick(
+        units.ms(15), units.ms(40)
+    )
+    measure_ns = measure_ns or common.pick(units.ms(10), units.ms(30))
+    net, _, hosts = _build_single_switch_net(scheme, n_senders + 1, seed)
+    receiver = hosts[-1]
+    flows = []
+    for sender in hosts[:n_senders]:
+        if scheme == "qcn":
+            flow = add_qcn_flow(net, sender, receiver)
+        else:
+            flow = net.add_flow(sender, receiver, cc=scheme)
+        flow.set_greedy()
+        flows.append(flow)
+    net.run_for(warmup_ns)
+    before = [flow.bytes_delivered for flow in flows]
+    net.run_for(measure_ns)
+    rates = [
+        (flow.bytes_delivered - b) * 8e9 / measure_ns / 1e9
+        for flow, b in zip(flows, before)
+    ]
+    return SingleSwitchFairnessResult(
+        scheme=scheme,
+        per_flow_gbps=rates,
+        fairness=jain_fairness(rates),
+        total_gbps=sum(rates),
+    )
+
+
+def run_ablation(**kwargs) -> Dict[str, SingleSwitchFairnessResult]:
+    """All three schemes on the single-switch incast."""
+    return {
+        scheme: run_single_switch_fairness(scheme, **kwargs)
+        for scheme in ("none", "qcn", "dcqcn")
+    }

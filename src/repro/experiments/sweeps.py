@@ -1,0 +1,89 @@
+"""Fluid-model parameter sweeps (Figures 11 and 12).
+
+Thin orchestration over :mod:`repro.fluid.sweep` that runs the four
+Figure 11 panels and the Figure 12 g-study and renders the tables the
+benchmarks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.experiments import common
+from repro.fluid.sweep import (
+    GQueueResult,
+    SweepResult,
+    sweep_byte_counter,
+    sweep_g_queue,
+    sweep_kmax,
+    sweep_pmax,
+    sweep_timer,
+)
+
+#: panel name -> (sweep function, unit label, value formatter)
+FIG11_PANELS: Dict[str, tuple] = {
+    "byte_counter": (sweep_byte_counter, "KB", lambda v: f"{v / 1e3:.0f}"),
+    "timer": (sweep_timer, "us", lambda v: f"{v * 1e6:.0f}"),
+    "kmax": (sweep_kmax, "KB", lambda v: f"{v / 1e3:.0f}"),
+    "pmax": (sweep_pmax, "", lambda v: f"{v:.2f}"),
+}
+
+
+def run_fig11_panel(panel: str, duration_s: float = None) -> SweepResult:
+    """One Figure 11 panel (convergence vs one parameter)."""
+    try:
+        fn, _, _ = FIG11_PANELS[panel]
+    except KeyError:
+        raise ValueError(
+            f"unknown panel {panel!r}; choose from {sorted(FIG11_PANELS)}"
+        ) from None
+    duration_s = duration_s or common.pick(0.08, 0.2)
+    return fn(duration_s=duration_s)
+
+
+def fig11_table(panel: str, result: SweepResult) -> str:
+    _, unit, fmt = FIG11_PANELS[panel]
+    header = f"{result.parameter} ({unit})" if unit else result.parameter
+    rows = [
+        [fmt(value), f"{diff:.2f}"]
+        for value, diff in zip(result.values, result.final_diff_gbps())
+    ]
+    return common.format_table([header, "steady |r1-r2| Gbps"], rows)
+
+
+@dataclass
+class Fig12Result:
+    """Figure 12: queue statistics per (g, incast degree)."""
+
+    per_degree: Dict[int, GQueueResult]
+
+    def table(self) -> str:
+        rows = []
+        for degree, res in sorted(self.per_degree.items()):
+            for g, mean_kb, std_kb in zip(
+                res.g_values, res.steady_queue_kb(), res.queue_stddev_kb()
+            ):
+                rows.append(
+                    [f"{degree}:1", f"1/{round(1 / g)}", f"{mean_kb:.1f}", f"{std_kb:.1f}"]
+                )
+        return common.format_table(
+            ["incast", "g", "steady queue KB", "queue stddev KB"], rows
+        )
+
+
+def run_fig12(
+    degrees=(2, 16),
+    g_values=(1.0 / 16.0, 1.0 / 256.0),
+    duration_s: float = None,
+) -> Fig12Result:
+    """Figure 12: queue length/stability for 2:1 and 16:1 incast."""
+    duration_s = duration_s or common.pick(0.08, 0.2)
+    return Fig12Result(
+        per_degree={
+            degree: sweep_g_queue(
+                g_values=g_values, incast_degree=degree, duration_s=duration_s
+            )
+            for degree in degrees
+        }
+    )

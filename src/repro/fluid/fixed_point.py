@@ -1,0 +1,141 @@
+"""The fluid model's unique fixed point (Equation 10).
+
+Setting the left-hand sides of Equations (6)-(9) to zero gives
+``R_C = C/N`` (Equation 10: every flow at its fair share) and three
+equations in the remaining unknowns ``R_T``, ``alpha`` and ``p``:
+
+* from d(alpha)/dt = 0:  ``alpha* = 1 - (1-p)^(tau' R_C)``
+* from dR_C/dt = 0::
+
+      R_T - R_C = R_C alpha (1-(1-p)^(tau R_C)) / (tau (bc + ti))
+
+  where ``bc``/``ti`` are the byte-counter/timer event frequencies at
+  marking probability ``p``.
+* substituting both into dR_T/dt = 0 leaves one scalar equation in
+  ``p``, solved here with bisection (``scipy.optimize.brentq``).  The
+  solution is unique (the residual is monotone in ``p``); the paper
+  verifies p stays below 1% for reasonable settings.
+
+From ``p`` the equilibrium queue follows by inverting the RED profile:
+``q* = Kmin + p (Kmax - Kmin) / Pmax``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy.optimize import brentq
+
+from repro.fluid.model import FluidParams
+
+
+@dataclass(frozen=True)
+class FixedPoint:
+    """Equilibrium of the N-flow fluid model."""
+
+    p: float
+    rc_bps: float
+    rt_bps: float
+    alpha: float
+    queue_bytes: float
+
+
+def _event_rates(p: float, rc_pkts: float, bc_pkts: float, timer_s: float):
+    """Byte-counter and timer increase-event frequencies at prob p.
+
+    Exponents are capped: a denominator of exp(700+) means the event
+    frequency is indistinguishable from zero (marking so heavy that a
+    full byte-counter period without a mark never happens).
+    """
+    ln1m = math.log1p(-p)
+
+    def rate(exponent: float) -> float:
+        if exponent > 700.0:
+            return 0.0
+        return rc_pkts * p / math.expm1(exponent)
+
+    bc = rate(-bc_pkts * ln1m)
+    ti = rate(-timer_s * rc_pkts * ln1m)
+    return bc, ti
+
+
+def _rt_residual(p: float, params: FluidParams, rc_pkts: float) -> float:
+    """dR_T/dt at the candidate fixed point; root in p is the answer."""
+    pkt_bits = params.packet_bytes * 8
+    tau = float(params.tau_s)
+    tau_prime = float(params.tau_prime_s)
+    timer = float(params.timer_s)
+    bc_pkts = float(params.byte_counter_bytes) / params.packet_bytes
+    rai = float(params.rai_bps) / pkt_bits
+    f_steps = params.fast_recovery_steps
+
+    ln1m = math.log1p(-p)
+    alpha = -math.expm1(tau_prime * rc_pkts * ln1m)  # 1-(1-p)^(tau' rc)
+    p_cnp = -math.expm1(tau * rc_pkts * ln1m)
+    cut_rate = p_cnp / tau
+    bc, ti = _event_rates(p, rc_pkts, bc_pkts, timer)
+    if bc + ti <= 0.0:
+        # marking so heavy that no increase event ever completes: the
+        # decrease side wins outright
+        return -1e30
+    # R_T - R_C from dR_C/dt = 0
+    rt_minus_rc = rc_pkts * alpha * cut_rate / (bc + ti)
+    gate_b = math.exp(f_steps * bc_pkts * ln1m)
+    gate_t = math.exp(f_steps * timer * rc_pkts * ln1m)
+    return -rt_minus_rc * cut_rate + rai * (gate_b * bc + gate_t * ti)
+
+
+def solve_fixed_point(params: FluidParams) -> FixedPoint:
+    """Solve Equation (10)'s companion system for (p, R_T, alpha, q).
+
+    Raises ``ValueError`` if no equilibrium exists in (0, 1) — e.g. a
+    capacity so small that even the minimum rate overloads the link.
+    """
+    pkt_bits = params.packet_bytes * 8
+    capacity_pps = float(params.capacity_bps) / pkt_bits
+    rc_pkts = capacity_pps / params.num_flows
+
+    lo, hi = 1e-9, 1.0 - 1e-9
+    f_lo = _rt_residual(lo, params, rc_pkts)
+    f_hi = _rt_residual(hi, params, rc_pkts)
+    if f_lo <= 0:
+        raise ValueError(
+            "no equilibrium: rate increase pressure is non-positive even "
+            "with (almost) no marking"
+        )
+    if f_hi >= 0:
+        raise ValueError(
+            "no equilibrium: rate increase still dominates at p ~ 1"
+        )
+    p_star = brentq(_rt_residual, lo, hi, args=(params, rc_pkts), xtol=1e-15)
+
+    ln1m = math.log1p(-p_star)
+    tau = float(params.tau_s)
+    alpha = -math.expm1(float(params.tau_prime_s) * rc_pkts * ln1m)
+    p_cnp = -math.expm1(tau * rc_pkts * ln1m)
+    cut_rate = p_cnp / tau
+    bc, ti = _event_rates(
+        p_star,
+        rc_pkts,
+        float(params.byte_counter_bytes) / params.packet_bytes,
+        float(params.timer_s),
+    )
+    rt_pkts = rc_pkts + rc_pkts * alpha * cut_rate / (bc + ti)
+
+    kmin = float(params.kmin_bytes)
+    kmax = float(params.kmax_bytes)
+    pmax = float(params.pmax)
+    if kmax > kmin and p_star < pmax:
+        queue = kmin + p_star * (kmax - kmin) / pmax
+    else:
+        # cut-off marking (or saturated RED segment): queue pins at the
+        # marking threshold
+        queue = kmax
+    return FixedPoint(
+        p=p_star,
+        rc_bps=rc_pkts * pkt_bits,
+        rt_bps=rt_pkts * pkt_bits,
+        alpha=alpha,
+        queue_bytes=queue,
+    )

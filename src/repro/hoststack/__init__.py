@@ -1,0 +1,17 @@
+"""Host stack cost models (TCP vs RDMA) behind the paper's Figure 1."""
+
+from repro.hoststack.model import (
+    HostSpec,
+    TcpStackModel,
+    RdmaStackModel,
+    StackComparison,
+    compare_stacks,
+)
+
+__all__ = [
+    "HostSpec",
+    "TcpStackModel",
+    "RdmaStackModel",
+    "StackComparison",
+    "compare_stacks",
+]

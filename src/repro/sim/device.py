@@ -1,0 +1,58 @@
+"""Base class for network devices (switches and host NICs)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import EventScheduler
+    from repro.sim.link import Port
+    from repro.sim.packet import Packet
+
+
+class Device:
+    """A node that owns ports and reacts to frames.
+
+    Concrete devices implement the pull-model contract used by
+    :class:`repro.sim.link.Port`:
+
+    * :meth:`receive` — a frame arrived on one of our ports.
+    * :meth:`next_packet` — the port is idle; hand it the next frame to
+      serialize (respecting PFC pause state via ``port.can_send``), or
+      ``None`` to go idle.
+    * :meth:`tx_complete` — a frame we handed out finished serializing
+      (switches free shared-buffer space here).
+    """
+
+    def __init__(self, engine: "EventScheduler", device_id: int, name: str):
+        self.engine = engine
+        self.device_id = device_id
+        self.name = name
+        self.ports: List["Port"] = []
+
+    def attach_port(self, port: "Port") -> int:
+        """Register a port; returns its index on this device."""
+        index = len(self.ports)
+        self.ports.append(port)
+        return index
+
+    def port_to(self, other: "Device") -> "Port":
+        """The (first) local port whose cable reaches ``other``."""
+        for port in self.ports:
+            if port.peer is not None and port.peer.owner is other:
+                return port
+        raise LookupError(f"{self.name} has no port to {other.name}")
+
+    # --- contract used by Port --------------------------------------------
+
+    def receive(self, pkt: "Packet", in_port: "Port") -> None:
+        raise NotImplementedError
+
+    def next_packet(self, port: "Port") -> Optional["Packet"]:
+        raise NotImplementedError
+
+    def tx_complete(self, port: "Port", pkt: "Packet") -> None:
+        """Hook called when ``pkt`` has fully left ``port``.  Optional."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name}, id={self.device_id})"

@@ -1,0 +1,10 @@
+"""Compatibility shim: the event engine lives at :mod:`repro.engine`.
+
+It sits outside the ``repro.sim`` package because the DCQCN core
+(:mod:`repro.core.rp`) also schedules events, and the core must not
+depend on the simulator package.
+"""
+
+from repro.engine import Event, EventScheduler, PeriodicTimer
+
+__all__ = ["Event", "EventScheduler", "PeriodicTimer"]

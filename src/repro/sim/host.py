@@ -1,0 +1,301 @@
+"""End hosts, flows and messages.
+
+A :class:`Flow` models one RDMA queue pair carrying WRITE traffic from
+a source host to a destination host.  Flows are either *greedy*
+(infinite backlog — the paper's microbenchmarks) or carry a stream of
+:class:`Message` transfers (the benchmark-traffic experiments, where
+user pairs issue transfers back to back).
+
+Transmission is paced by the NIC's per-flow hardware rate limiter: the
+flow exposes :meth:`Flow.ready_time`, the earliest instant its next
+packet may leave, and the NIC port pulls packets from the flow with the
+smallest ready time.  DCQCN attaches to a flow as a
+:class:`repro.core.rp.ReactionPoint` whose current rate drives the
+pacing gap.
+
+Sequencing is go-back-N, matching RoCEv2 NICs: packets carry a
+sequence number, the receiver only accepts in-order arrivals, NACKs
+name the expected sequence, and the sender rewinds on NACK (or on a
+retransmission timeout, for tail losses).  On a correctly configured
+lossless fabric none of this machinery fires.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, List, Optional, Tuple
+
+from repro.sim.packet import Packet, data_packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.rp import ReactionPoint
+    from repro.sim.nic import HostNic
+
+#: Sentinel "never" timestamp for flows with nothing to send.
+NEVER = 1 << 62
+
+#: Priority class used for data in all experiments (one lossless class).
+DATA_PRIORITY = 0
+
+#: Priority class for CNPs / ACKs / NACKs — "we send CNPs with high
+#: priority, to avoid missing the CNP deadline" (paper §3.3).
+CONTROL_PRIORITY = 6
+
+
+class Message:
+    """One application-level transfer riding a flow."""
+
+    __slots__ = (
+        "msg_id",
+        "size_bytes",
+        "packet_count",
+        "first_seq",
+        "last_seq",
+        "start_ns",
+        "complete_ns",
+    )
+
+    def __init__(
+        self,
+        msg_id: int,
+        size_bytes: int,
+        packet_count: int,
+        first_seq: int,
+        start_ns: int,
+    ):
+        self.msg_id = msg_id
+        self.size_bytes = size_bytes
+        self.packet_count = packet_count
+        self.first_seq = first_seq
+        self.last_seq = first_seq + packet_count - 1
+        self.start_ns = start_ns
+        self.complete_ns: Optional[int] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.complete_ns is not None
+
+    def fct_ns(self) -> int:
+        """Flow (message) completion time; raises if not yet complete."""
+        if self.complete_ns is None:
+            raise ValueError(f"message {self.msg_id} not complete")
+        return self.complete_ns - self.start_ns
+
+    def throughput_bps(self) -> float:
+        """Average goodput over the message's lifetime."""
+        duration = self.fct_ns()
+        if duration <= 0:
+            return 0.0
+        return self.size_bytes * 8e9 / duration
+
+
+class Flow:
+    """One sender-to-receiver RDMA stream (queue pair)."""
+
+    def __init__(
+        self,
+        flow_id: int,
+        src: "Host",
+        dst: "Host",
+        priority: int = DATA_PRIORITY,
+        mtu_bytes: int = 1000,
+        start_ns: int = 0,
+        rp: Optional["ReactionPoint"] = None,
+        static_rate_bps: Optional[float] = None,
+    ):
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.priority = priority
+        self.mtu_bytes = mtu_bytes
+        self.start_ns = start_ns
+        self.rp = rp
+        if rp is not None:
+            rp.on_rate_change = self._on_rate_change
+        self._static_rate_bps = static_rate_bps
+        # tx state
+        self.greedy = False
+        self.next_seq = 0
+        self.end_seq = 0  # exclusive upper bound of enqueued data
+        self.acked_seq = 0  # cumulative go-back-N ack point
+        self.next_send_ns = start_ns
+        self._last_pull_ns = start_ns
+        self._last_pull_bytes = mtu_bytes
+        # message bookkeeping (sender side)
+        self._messages: List[Message] = []
+        self._boundaries: Deque[Tuple[int, Message]] = deque()
+        self._boundary_by_seq: dict = {}
+        self.on_message_complete: Optional[Callable[["Flow", Message], None]] = None
+        # retransmission-timeout bookkeeping (managed by the NIC)
+        self._rto_armed = False
+        self._last_progress_seq = 0
+        self._consecutive_rtos = 0
+        #: set by the NIC when the QP exhausts its retry budget
+        self.failed = False
+        # statistics
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.retransmitted_packets = 0
+        self.bytes_delivered = 0  # updated by the receiving NIC
+        self.messages_completed = 0
+
+    # --- rate ------------------------------------------------------------------
+
+    @property
+    def rate_bps(self) -> float:
+        """Current pacing rate of the hardware rate limiter."""
+        if self.rp is not None:
+            return self.rp.rc_bps
+        if self._static_rate_bps is not None:
+            return self._static_rate_bps
+        return self.src.nic.line_rate_bps
+
+    def _on_rate_change(self, new_rate_bps: float) -> None:
+        # Hardware recomputes the inter-packet gap from the new rate
+        # immediately; never push the next transmission later than the
+        # schedule the old rate had already granted.
+        gap = int(self._last_pull_bytes * 8e9 / new_rate_bps) + 1
+        self.next_send_ns = min(self.next_send_ns, self._last_pull_ns + gap)
+        self.src.nic.flow_state_changed(self)
+
+    # --- application input -----------------------------------------------------
+
+    def set_greedy(self) -> None:
+        """Give the flow infinite backlog (microbenchmark mode)."""
+        self.greedy = True
+        self.src.nic.flow_state_changed(self)
+
+    def send_message(self, size_bytes: int, now_ns: Optional[int] = None) -> Message:
+        """Queue one transfer; packets follow any already-queued data.
+
+        Message sizes are rounded up to whole MTU-sized packets (the
+        wire carries MTU frames regardless; accounting follows suit).
+        """
+        if self.greedy:
+            raise ValueError("greedy flows do not carry discrete messages")
+        if size_bytes <= 0:
+            raise ValueError(f"message size must be positive, got {size_bytes}")
+        if now_ns is None:
+            now_ns = self.src.nic.engine.now
+        packet_count = -(-size_bytes // self.mtu_bytes)  # ceil
+        message = Message(
+            msg_id=len(self._messages),
+            size_bytes=size_bytes,
+            packet_count=packet_count,
+            first_seq=self.end_seq,
+            start_ns=max(now_ns, self.start_ns),
+        )
+        self._messages.append(message)
+        self._boundaries.append((message.last_seq, message))
+        self._boundary_by_seq[message.last_seq] = message
+        self.end_seq += packet_count
+        self.src.nic.flow_state_changed(self)
+        return message
+
+    @property
+    def messages(self) -> List[Message]:
+        """All messages ever queued on this flow, in order."""
+        return self._messages
+
+    # --- NIC pull interface -----------------------------------------------------
+
+    def has_backlog(self) -> bool:
+        if self.failed:
+            return False  # QP in error state: nothing more is sent
+        return self.greedy or self.next_seq < self.end_seq
+
+    def ready_time(self) -> int:
+        """Earliest ns timestamp the next packet may be pulled, or NEVER."""
+        if not self.has_backlog():
+            return NEVER
+        return self.next_send_ns if self.next_send_ns > self.start_ns else self.start_ns
+
+    def take_packet(self, now_ns: int) -> Packet:
+        """Pull the next packet; advances sequencing and pacing state."""
+        seq = self.next_seq
+        boundary = self._boundary_by_seq.get(seq)
+        msg_id = boundary.msg_id if boundary is not None else -1
+        pkt = data_packet(
+            flow_id=self.flow_id,
+            src=self.src.nic.device_id,
+            dst=self.dst.nic.device_id,
+            size=self.mtu_bytes,
+            seq=seq,
+            priority=self.priority,
+            msg_id=msg_id,
+        )
+        self.next_seq = seq + 1
+        self.packets_sent += 1
+        self.bytes_sent += self.mtu_bytes
+        gap = int(self.mtu_bytes * 8e9 / self.rate_bps) + 1
+        self._last_pull_ns = now_ns
+        self._last_pull_bytes = self.mtu_bytes
+        self.next_send_ns = now_ns + gap
+        return pkt
+
+    # --- reliability (go-back-N sender half) -------------------------------------
+
+    def on_ack(self, cum_seq: int, msg_id: int) -> None:
+        """Cumulative ACK: advance the ack point, complete covered messages.
+
+        ``msg_id`` is informational (the boundary that triggered the
+        ACK); completion is driven purely by the cumulative sequence so
+        a lost boundary ACK is repaired by any later one.
+        """
+        if cum_seq > self.acked_seq:
+            self.acked_seq = cum_seq
+        now = self.src.nic.engine.now
+        while self._boundaries and self._boundaries[0][0] < cum_seq:
+            _, message = self._boundaries.popleft()
+            message.complete_ns = now
+            self.messages_completed += 1
+            if self.on_message_complete is not None:
+                self.on_message_complete(self, message)
+
+    def rewind_to(self, seq: int) -> None:
+        """Go-back-N: resume transmission from ``seq`` (NACK or timeout)."""
+        if seq >= self.next_seq or seq < self.acked_seq:
+            return  # stale feedback
+        self.retransmitted_packets += self.next_seq - seq
+        self.next_seq = seq
+        self.src.nic.flow_state_changed(self)
+
+    def outstanding_packets(self) -> int:
+        return self.next_seq - self.acked_seq
+
+    # --- hooks for alternative congestion controllers ----------------------------
+
+    def on_transport_feedback(self, ece: bool, acked_seq: int) -> None:
+        """Per-ACK hook; window-based baselines (DCTCP) override this."""
+
+    def on_qcn_feedback(self, quantized_fb: int) -> None:
+        """QCN congestion-feedback hook; the QCN baseline overrides this."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Flow({self.flow_id}, {self.src.name}->{self.dst.name}, "
+            f"rate={self.rate_bps / 1e9:.3f}Gbps, seq={self.next_seq})"
+        )
+
+
+class Host:
+    """An end host: a name plus its RDMA NIC.
+
+    Application-level behaviour (greedy senders, message streams,
+    closed-loop workloads) is expressed through the flows opened
+    between hosts via :meth:`repro.sim.network.Network.add_flow`.
+    """
+
+    def __init__(self, name: str, nic: "HostNic"):
+        self.name = name
+        self.nic = nic
+        nic.host = self
+        self.flows: List[Flow] = []
+
+    @property
+    def host_id(self) -> int:
+        """Network-wide address of this host (its NIC's device id)."""
+        return self.nic.device_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Host({self.name})"

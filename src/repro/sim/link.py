@@ -1,0 +1,224 @@
+"""Full-duplex links and serializing ports.
+
+A cable between two devices is modelled as a pair of :class:`Port`
+objects, one on each device, cross-linked via ``peer``.  Each port owns
+the *transmit* half of its direction: it serializes one frame at a time
+at the link rate, then hands the frame to the peer device after the
+propagation delay.  Reception needs no modelling beyond the scheduled
+delivery callback.
+
+Ports implement the details PFC correctness depends on:
+
+* **No preemption** — a frame whose serialization has begun always
+  finishes, even if a PAUSE arrives meanwhile (the paper's headroom
+  calculation explicitly accounts for this).
+* **Control bypass** — PFC PAUSE/RESUME frames jump ahead of data (they
+  wait at most for the in-flight frame) and are never themselves
+  subject to pause, mirroring how switches emit PFC out-of-band.
+* **Per-priority pause state** — ``paused_mask`` records which
+  priorities the *peer* has paused; the owning device consults
+  :meth:`Port.can_send` when choosing the next frame.
+* **Non-congestion losses** (paper §7) — an optional per-frame error
+  probability models CRC-failing frames on a marginal cable.  RoCEv2's
+  go-back-N makes such losses expensive, which is exactly the §7
+  discussion; :mod:`repro.experiments.link_errors` quantifies it.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.sim.device import Device
+from repro.sim.engine import EventScheduler
+from repro.sim.packet import Packet
+from repro.units import serialization_time_ns
+
+
+class Port:
+    """One direction-owning endpoint of a full-duplex cable."""
+
+    __slots__ = (
+        "engine",
+        "owner",
+        "index",
+        "peer",
+        "rate_bps",
+        "_ns_per_byte",
+        "prop_delay_ns",
+        "busy",
+        "paused_mask",
+        "_control_queue",
+        "tx_bytes",
+        "tx_packets",
+        "tx_pause_frames",
+        "rx_pause_frames",
+        "busy_since",
+        "busy_ns",
+        "error_rate",
+        "_error_rng",
+        "corrupted_frames",
+        "_paused_since",
+        "_paused_ns",
+    )
+
+    def __init__(self, engine: EventScheduler, owner: Device, rate_bps: float, prop_delay_ns: int):
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        if prop_delay_ns < 0:
+            raise ValueError(f"propagation delay must be >= 0, got {prop_delay_ns}")
+        self.engine = engine
+        self.owner = owner
+        self.index = owner.attach_port(self)
+        self.peer: Optional["Port"] = None
+        self.rate_bps = rate_bps
+        # Precomputed for the per-packet hot path: ns to serialize one
+        # byte.  Serialization time rounds up to a whole nanosecond so
+        # back-to-back transmissions never overlap.
+        self._ns_per_byte = 8 * 1_000_000_000 / rate_bps
+        self.prop_delay_ns = prop_delay_ns
+        self.busy = False
+        self.paused_mask = 0
+        self._control_queue: Deque[Packet] = deque()
+        # counters
+        self.tx_bytes = 0
+        self.tx_packets = 0
+        self.tx_pause_frames = 0
+        self.rx_pause_frames = 0
+        self.busy_since = 0
+        self.busy_ns = 0
+        # non-congestion loss injection (off by default)
+        self.error_rate = 0.0
+        self._error_rng: Optional[random.Random] = None
+        self.corrupted_frames = 0
+        # cumulative time each priority spent PAUSEd (prio -> ns)
+        self._paused_since: dict = {}
+        self._paused_ns: dict = {}
+
+    # --- pause state --------------------------------------------------------
+
+    def can_send(self, priority: int) -> bool:
+        """True unless the peer has PAUSEd ``priority`` on this port."""
+        return not (self.paused_mask >> priority) & 1
+
+    def set_paused(self, priority: int, paused: bool) -> None:
+        """Record a PAUSE/RESUME received from the peer for ``priority``."""
+        bit = 1 << priority
+        if paused:
+            if not self.paused_mask & bit:
+                self._paused_since[priority] = self.engine.now
+            self.paused_mask |= bit
+        else:
+            was_paused = self.paused_mask & bit
+            self.paused_mask &= ~bit
+            if was_paused:
+                started = self._paused_since.pop(priority, self.engine.now)
+                self._paused_ns[priority] = (
+                    self._paused_ns.get(priority, 0) + self.engine.now - started
+                )
+                self.notify()
+
+    def total_paused_ns(self, priority: int = 0) -> int:
+        """Cumulative time ``priority`` has been PAUSEd on this port.
+
+        The PFC-cascade damage metric: a victim flow's throughput loss
+        is roughly its bottleneck port's paused fraction.
+        """
+        total = self._paused_ns.get(priority, 0)
+        started = self._paused_since.get(priority)
+        if started is not None:
+            total += self.engine.now - started
+        return total
+
+    # --- transmit path --------------------------------------------------------
+
+    def send_control(self, pkt: Packet) -> None:
+        """Queue a link-local control frame (PFC); bypasses data and pause."""
+        if pkt.pause:
+            self.tx_pause_frames += 1
+        self._control_queue.append(pkt)
+        self.notify()
+
+    def notify(self) -> None:
+        """Poke the port: if idle, try to start the next transmission."""
+        if self.busy:
+            return
+        pkt = self._dequeue()
+        if pkt is None:
+            return
+        self._start_transmission(pkt)
+
+    def _dequeue(self) -> Optional[Packet]:
+        if self._control_queue:
+            return self._control_queue.popleft()
+        return self.owner.next_packet(self)
+
+    def _start_transmission(self, pkt: Packet) -> None:
+        self.busy = True
+        self.busy_since = self.engine.now
+        exact = pkt.size * self._ns_per_byte
+        ser = int(exact)
+        if exact > ser:
+            ser += 1
+        self.engine.schedule(ser, self._tx_done, pkt)
+
+    def set_error_rate(self, rate: float, seed: Optional[int] = None) -> None:
+        """Drop each transmitted frame with probability ``rate``.
+
+        Models CRC-failing frames on a marginal link (paper §7's
+        non-congestion losses).  Lost frames are silently discarded in
+        flight — the receiver sees a sequence gap and go-back-N takes
+        over.
+        """
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"error rate must be in [0, 1), got {rate}")
+        self.error_rate = rate
+        self._error_rng = random.Random(seed) if rate > 0.0 else None
+
+    def _tx_done(self, pkt: Packet) -> None:
+        self.busy = False
+        now = self.engine.now
+        self.busy_ns += now - self.busy_since
+        self.tx_bytes += pkt.size
+        self.tx_packets += 1
+        peer = self.peer
+        if peer is None:
+            raise RuntimeError(f"port on {self.owner.name} is not connected")
+        if self._error_rng is not None and self._error_rng.random() < self.error_rate:
+            self.corrupted_frames += 1
+        else:
+            self.engine.schedule(self.prop_delay_ns, peer.owner.receive, pkt, peer)
+        self.owner.tx_complete(self, pkt)
+        self.notify()
+
+    def utilization(self, window_ns: int) -> float:
+        """Fraction of ``window_ns`` this port spent serializing frames."""
+        if window_ns <= 0:
+            return 0.0
+        busy = self.busy_ns
+        if self.busy:
+            busy += self.engine.now - self.busy_since
+        return busy / window_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        peer = self.peer.owner.name if self.peer is not None else "?"
+        return f"Port({self.owner.name}[{self.index}] -> {peer}, {self.rate_bps / 1e9:g}Gbps)"
+
+
+def connect(
+    engine: EventScheduler,
+    a: Device,
+    b: Device,
+    rate_bps: float,
+    prop_delay_ns: int,
+) -> Tuple[Port, Port]:
+    """Wire a full-duplex cable between ``a`` and ``b``.
+
+    Returns ``(port_on_a, port_on_b)``.
+    """
+    port_a = Port(engine, a, rate_bps, prop_delay_ns)
+    port_b = Port(engine, b, rate_bps, prop_delay_ns)
+    port_a.peer = port_b
+    port_b.peer = port_a
+    return port_a, port_b

@@ -1,0 +1,114 @@
+"""Measurement probes: throughput samplers, queue samplers, counters.
+
+These mirror what the paper measures on the testbed: per-flow
+throughput over time (Figures 3, 8, 10, 13), switch egress queue
+length distributions (Figures 12, 19) and PFC PAUSE counts
+(Figure 15).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.engine import EventScheduler
+from repro.sim.host import Flow
+from repro.sim.switch import Switch
+
+
+class RateSampler:
+    """Periodically samples delivered bytes and reports rates.
+
+    ``rates_bps[flow][k]`` is the goodput of ``flow`` over the k-th
+    sampling interval, measured at the *receiver* (delivered, in-order
+    bytes — what the paper's throughput plots show).
+    """
+
+    def __init__(
+        self,
+        engine: EventScheduler,
+        flows: Sequence[Flow],
+        interval_ns: int,
+        start_ns: int = 0,
+    ):
+        if interval_ns <= 0:
+            raise ValueError("interval must be positive")
+        self.engine = engine
+        self.flows = list(flows)
+        self.interval_ns = interval_ns
+        self.times_ns: List[int] = []
+        self.rates_bps: Dict[Flow, List[float]] = {flow: [] for flow in self.flows}
+        self._last_bytes = {flow: flow.bytes_delivered for flow in self.flows}
+        engine.schedule_at(max(start_ns, engine.now) + interval_ns, self._sample)
+
+    def _sample(self) -> None:
+        now = self.engine.now
+        self.times_ns.append(now)
+        for flow in self.flows:
+            delivered = flow.bytes_delivered
+            delta = delivered - self._last_bytes[flow]
+            self._last_bytes[flow] = delivered
+            self.rates_bps[flow].append(delta * 8e9 / self.interval_ns)
+        self.engine.schedule(self.interval_ns, self._sample)
+
+    def series(self, flow: Flow) -> List[float]:
+        return self.rates_bps[flow]
+
+    def mean_rate_bps(self, flow: Flow, skip: int = 0) -> float:
+        """Average sampled rate, optionally skipping warm-up samples."""
+        samples = self.rates_bps[flow][skip:]
+        if not samples:
+            return 0.0
+        return sum(samples) / len(samples)
+
+
+class QueueSampler:
+    """Periodically samples one egress queue of a switch (bytes)."""
+
+    def __init__(
+        self,
+        engine: EventScheduler,
+        switch: Switch,
+        port_index: int,
+        priority: Optional[int] = None,
+        interval_ns: int = 10_000,
+        start_ns: int = 0,
+    ):
+        if interval_ns <= 0:
+            raise ValueError("interval must be positive")
+        self.engine = engine
+        self.switch = switch
+        self.port_index = port_index
+        self.priority = priority
+        self.interval_ns = interval_ns
+        self.times_ns: List[int] = []
+        self.samples_bytes: List[int] = []
+        engine.schedule_at(max(start_ns, engine.now) + interval_ns, self._sample)
+
+    def _sample(self) -> None:
+        self.times_ns.append(self.engine.now)
+        self.samples_bytes.append(
+            self.switch.egress_queue_bytes(self.port_index, self.priority)
+        )
+        self.engine.schedule(self.interval_ns, self._sample)
+
+    def max_bytes(self) -> int:
+        return max(self.samples_bytes, default=0)
+
+
+class CounterSet:
+    """Named integer counters with snapshot/delta support."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CounterSet({self._counts})"

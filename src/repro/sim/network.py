@@ -1,0 +1,207 @@
+"""Network container: devices, flows and the run loop.
+
+:class:`Network` is the top-level object experiments interact with —
+it owns the event scheduler, builds devices, wires cables, installs
+ECMP routes and opens flows with the chosen congestion control:
+
+>>> from repro import units
+>>> from repro.sim.network import Network
+>>> net = Network(seed=1)
+>>> sw = net.new_switch("S")
+>>> a, b = net.new_host("A"), net.new_host("B")
+>>> _ = net.connect(a, sw, units.gbps(40), units.ns(500))
+>>> _ = net.connect(b, sw, units.gbps(40), units.ns(500))
+>>> net.build_routes()
+>>> flow = net.add_flow(a, b, cc="dcqcn")
+>>> flow.set_greedy()
+>>> net.run_for(units.ms(1))
+>>> flow.bytes_delivered > 0
+True
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Union
+
+from repro import units
+from repro.core.params import DCQCNParams
+from repro.core.rp import ReactionPoint
+from repro.sim.engine import EventScheduler
+from repro.sim.host import DATA_PRIORITY, Flow, Host
+from repro.sim.link import connect as connect_ports
+from repro.sim.nic import HostNic, NicConfig
+from repro.sim.routing import install_routes
+from repro.sim.switch import Switch, SwitchConfig
+
+#: Propagation delay used by default for intra-datacenter cables
+#: (~100 m of fiber at 5 ns/m).
+DEFAULT_PROP_DELAY_NS = units.ns(500)
+
+#: Default link rate — the testbed is all 40 Gbps.
+DEFAULT_LINK_RATE_BPS = units.gbps(40)
+
+
+class Network:
+    """A simulated datacenter network and the flows crossing it."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        dcqcn_params: Optional[DCQCNParams] = None,
+        nic_config: Optional[NicConfig] = None,
+    ):
+        self.engine = EventScheduler()
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.dcqcn_params = dcqcn_params or DCQCNParams.deployed()
+        self.nic_config = nic_config or NicConfig()
+        self.hosts: List[Host] = []
+        self.switches: List[Switch] = []
+        self.flows: List[Flow] = []
+        self._next_device_id = 0
+
+    # --- construction -------------------------------------------------------------
+
+    def _device_id(self) -> int:
+        device_id = self._next_device_id
+        self._next_device_id += 1
+        return device_id
+
+    def new_switch(self, name: str, config: Optional[SwitchConfig] = None) -> Switch:
+        """Create a switch (ECMP salt drawn from the network seed)."""
+        switch = Switch(
+            self.engine,
+            self._device_id(),
+            name,
+            config=config,
+            ecmp_salt=self.rng.getrandbits(64),
+        )
+        self.switches.append(switch)
+        return switch
+
+    def new_host(self, name: str, nic_config: Optional[NicConfig] = None) -> Host:
+        """Create a host with its RDMA NIC (port attached via connect)."""
+        nic = HostNic(
+            self.engine,
+            self._device_id(),
+            f"{name}.nic",
+            config=nic_config or self.nic_config,
+        )
+        host = Host(name, nic)
+        self.hosts.append(host)
+        return host
+
+    def connect(
+        self,
+        a: Union[Host, Switch],
+        b: Union[Host, Switch],
+        rate_bps: float = DEFAULT_LINK_RATE_BPS,
+        prop_delay_ns: int = DEFAULT_PROP_DELAY_NS,
+    ):
+        """Wire a full-duplex cable; hosts are wired via their NIC."""
+        dev_a = a.nic if isinstance(a, Host) else a
+        dev_b = b.nic if isinstance(b, Host) else b
+        return connect_ports(self.engine, dev_a, dev_b, rate_bps, prop_delay_ns)
+
+    def build_routes(self) -> None:
+        """Compute and install ECMP tables on every switch."""
+        install_routes(self.switches, (host.nic for host in self.hosts))
+
+    # --- flows ---------------------------------------------------------------------
+
+    def add_flow(
+        self,
+        src: Host,
+        dst: Host,
+        cc: str = "dcqcn",
+        priority: int = DATA_PRIORITY,
+        mtu_bytes: int = 1000,
+        start_ns: int = 0,
+        params: Optional[DCQCNParams] = None,
+        static_rate_bps: Optional[float] = None,
+        initial_rate_bps: Optional[float] = None,
+    ) -> Flow:
+        """Open a flow from ``src`` to ``dst``.
+
+        ``cc`` selects the congestion control:
+
+        * ``"dcqcn"`` — the paper's protocol: RP at the sender, NP at
+          the receiver (requires ECN-enabled switches to do anything).
+        * ``"none"``  — no end-to-end control; the flow runs at line
+          rate (or ``static_rate_bps``) and PFC is the only brake.
+
+        ``initial_rate_bps`` (DCQCN only) seeds the reaction point at a
+        throttled rate when the flow starts — used by convergence
+        studies that begin from asymmetric rates (paper §5.2).
+        """
+        if src is dst:
+            raise ValueError("src and dst must differ")
+        if cc not in ("dcqcn", "none"):
+            raise ValueError(f"unknown congestion control {cc!r}")
+        flow_id = len(self.flows)
+        effective = params or self.dcqcn_params
+        rp = None
+        if cc == "dcqcn":
+            rp = ReactionPoint(
+                self.engine,
+                effective,
+                src.nic.line_rate_bps,
+                timer_seed=self.rng.getrandbits(32),
+            )
+            if initial_rate_bps is not None:
+                self.engine.schedule_at(start_ns, rp.seed_rate, initial_rate_bps)
+        elif initial_rate_bps is not None:
+            raise ValueError("initial_rate_bps requires cc='dcqcn'")
+        flow = Flow(
+            flow_id,
+            src,
+            dst,
+            priority=priority,
+            mtu_bytes=mtu_bytes,
+            start_ns=start_ns,
+            rp=rp,
+            static_rate_bps=static_rate_bps,
+        )
+        self.flows.append(flow)
+        src.flows.append(flow)
+        src.nic.register_tx_flow(flow)
+        dst.nic.register_rx_flow(
+            flow, dcqcn_params=effective if cc == "dcqcn" else None
+        )
+        return flow
+
+    def register_flow(self, flow: Flow, **rx_kwargs) -> None:
+        """Register an externally constructed flow (baseline transports)."""
+        if flow.flow_id != len(self.flows):
+            raise ValueError(
+                f"flow id {flow.flow_id} out of order; use next_flow_id()"
+            )
+        self.flows.append(flow)
+        flow.src.flows.append(flow)
+        flow.src.nic.register_tx_flow(flow)
+        flow.dst.nic.register_rx_flow(flow, **rx_kwargs)
+
+    def next_flow_id(self) -> int:
+        """Id the next registered flow must carry."""
+        return len(self.flows)
+
+    # --- running --------------------------------------------------------------------
+
+    def run_for(self, duration_ns: int) -> None:
+        """Advance the simulation by ``duration_ns``."""
+        self.engine.run_until(self.engine.now + duration_ns)
+
+    def run_until(self, time_ns: int) -> None:
+        self.engine.run_until(time_ns)
+
+    # --- fleet-wide statistics ---------------------------------------------------------
+
+    def total_pause_frames_sent(self) -> int:
+        return sum(sw.pause_frames_sent for sw in self.switches)
+
+    def total_drops(self) -> int:
+        return sum(sw.dropped_packets for sw in self.switches)
+
+    def total_marked(self) -> int:
+        return sum(sw.marked_packets for sw in self.switches)

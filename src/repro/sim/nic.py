@@ -1,0 +1,353 @@
+"""RoCEv2 host NIC.
+
+The NIC is where RoCEv2 and DCQCN live: the protocol is "implemented
+entirely on the NICs, bypassing the host networking stack".  This model
+covers the pieces the paper's behaviour depends on:
+
+* **Per-flow hardware rate limiters** — the NIC pulls the packet of
+  the flow with the earliest pacing deadline; pacing gaps come from the
+  flow's DCQCN current rate.  Packets are serialized at line rate, so
+  an unconstrained flow saturates the port ("hyper-fast start").
+* **PFC reaction** — a PAUSE from the ToR stalls the port for the
+  paused priority; flows back up inside the NIC exactly like the
+  head-of-line blocking the paper describes.
+* **NP algorithm** — per-flow CNP generation for ECN-marked arrivals
+  (:class:`repro.core.np.NotificationPoint`), with CNPs transmitted in
+  the high-priority control class.
+* **RP dispatch** — received CNPs are handed to the flow's
+  :class:`repro.core.rp.ReactionPoint`.
+* **Go-back-N reliability** — out-of-order arrivals are dropped and
+  NACKed; senders rewind on NACK or on a retransmission timeout.  On a
+  correctly configured lossless fabric this machinery stays cold; with
+  PFC disabled (Figure 18) it produces exactly the poor loss recovery
+  the paper reports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional
+
+from repro import units
+from repro.core.np import NotificationPoint
+from repro.core.params import DCQCNParams
+from repro.sim.device import Device
+from repro.sim.engine import EventScheduler
+from repro.sim.host import CONTROL_PRIORITY, Flow, NEVER
+from repro.sim.link import Port
+from repro.sim.packet import (
+    CONTROL_FRAME_BYTES,
+    ECN_CE,
+    KIND_ACK,
+    KIND_CNP,
+    KIND_DATA,
+    KIND_NACK,
+    KIND_PAUSE,
+    KIND_QCN_FB,
+    KIND_RESUME,
+    Packet,
+    cnp_packet,
+)
+
+
+@dataclass
+class NicConfig:
+    """Transport-level knobs of the NIC."""
+
+    #: cumulative ACK cadence (packets) — keeps go-back-N state fresh
+    #: without per-packet ACK overhead (RDMA is not ACK-clocked).
+    ack_interval_packets: int = 64
+    #: minimum spacing of duplicate NACKs for the same expected seq.
+    nack_min_interval_ns: int = units.us(100)
+    #: retransmission timeout for tail losses; generous because PFC
+    #: pauses must not masquerade as losses.
+    rto_ns: int = units.ms(4)
+    enable_rto: bool = True
+    #: consecutive RTO expirations before the QP gives up (RoCE NICs
+    #: move the QP to an error state after ``retry_cnt`` attempts —
+    #: the paper's "some flows are simply unable to recover").
+    #: ``None`` retries forever.
+    max_rto_retries: Optional[int] = None
+
+
+class _RxState:
+    """Receiver-side per-flow state (expected seq, NP, ack pacing)."""
+
+    __slots__ = (
+        "flow",
+        "np",
+        "expected_seq",
+        "unacked_packets",
+        "last_nacked_seq",
+        "last_nack_ns",
+        "echo_ecn",
+    )
+
+    def __init__(self, flow: Flow, np: Optional[NotificationPoint], echo_ecn: bool):
+        self.flow = flow
+        self.np = np
+        self.expected_seq = 0
+        self.unacked_packets = 0
+        self.last_nacked_seq = -1
+        self.last_nack_ns = -(1 << 62)
+        self.echo_ecn = echo_ecn
+
+
+class HostNic(Device):
+    """A host's RDMA NIC: one port, many flows."""
+
+    def __init__(
+        self,
+        engine: EventScheduler,
+        device_id: int,
+        name: str,
+        config: Optional[NicConfig] = None,
+    ):
+        super().__init__(engine, device_id, name)
+        self.config = config or NicConfig()
+        self.host = None  # set by Host.__init__
+        self._tx_flows: Dict[int, Flow] = {}
+        self._rx_states: Dict[int, _RxState] = {}
+        self._control: Deque[Packet] = deque()
+        self._kick_at = NEVER
+        # counters
+        self.cnps_sent = 0
+        self.cnps_received = 0
+        self.acks_sent = 0
+        self.nacks_sent = 0
+        self.data_received = 0
+        self.out_of_order_drops = 0
+        self.rto_fires = 0
+        self.failed_flows = 0
+
+    # --- wiring -----------------------------------------------------------------
+
+    @property
+    def port(self) -> Port:
+        if not self.ports:
+            raise RuntimeError(f"{self.name}: NIC has no port attached yet")
+        return self.ports[0]
+
+    @property
+    def line_rate_bps(self) -> float:
+        return self.port.rate_bps
+
+    def register_tx_flow(self, flow: Flow) -> None:
+        """Make this NIC the sender of ``flow``."""
+        self._tx_flows[flow.flow_id] = flow
+
+    def register_rx_flow(
+        self,
+        flow: Flow,
+        dcqcn_params: Optional[DCQCNParams] = None,
+        echo_ecn: bool = False,
+    ) -> None:
+        """Make this NIC the receiver of ``flow``.
+
+        ``dcqcn_params`` enables the NP algorithm (CNP generation);
+        ``echo_ecn`` enables per-packet ACKs carrying the CE bit, used
+        by the window-based DCTCP baseline.
+        """
+        np = None
+        if dcqcn_params is not None:
+            sender_id = flow.src.nic.device_id
+            flow_id = flow.flow_id
+
+            def send_cnp() -> None:
+                self.cnps_sent += 1
+                self._send_control(
+                    cnp_packet(flow_id, self.device_id, sender_id, CONTROL_PRIORITY)
+                )
+
+            np = NotificationPoint(dcqcn_params.cnp_interval_ns, send_cnp)
+        self._rx_states[flow.flow_id] = _RxState(flow, np, echo_ecn)
+
+    def rx_state(self, flow_id: int) -> _RxState:
+        """Receiver state for one flow (tests and monitors)."""
+        return self._rx_states[flow_id]
+
+    # --- transmit path -------------------------------------------------------------
+
+    def flow_state_changed(self, flow: Flow) -> None:
+        """A flow gained data / changed rate: re-evaluate the port."""
+        self.port.notify()
+        self._maybe_schedule_kick()
+
+    def next_packet(self, port: Port) -> Optional[Packet]:
+        control = self._control
+        if control and port.can_send(control[0].priority):
+            return control.popleft()
+        now = self.engine.now
+        best: Optional[Flow] = None
+        best_ready = NEVER
+        for flow in self._tx_flows.values():
+            if not port.can_send(flow.priority):
+                continue
+            ready = flow.ready_time()
+            if ready < best_ready or (
+                ready == best_ready
+                and best is not None
+                and flow._last_pull_ns < best._last_pull_ns
+            ):
+                best = flow
+                best_ready = ready
+        if best is None or best_ready > now:
+            self._schedule_kick(best_ready)
+            return None
+        pkt = best.take_packet(now)
+        self._arm_rto(best)
+        return pkt
+
+    def tx_complete(self, port: Port, pkt: Packet) -> None:
+        if pkt.kind == KIND_DATA:
+            flow = self._tx_flows.get(pkt.flow_id)
+            if flow is not None and flow.rp is not None:
+                flow.rp.on_bytes_sent(pkt.size)
+
+    def _send_control(self, pkt: Packet) -> None:
+        self._control.append(pkt)
+        self.port.notify()
+
+    def _schedule_kick(self, at_ns: int) -> None:
+        if at_ns >= NEVER:
+            return
+        if self._kick_at <= at_ns and self._kick_at > self.engine.now:
+            return  # an earlier (or equal) kick is already pending
+        self._kick_at = at_ns
+        self.engine.schedule_at(at_ns, self._kick)
+
+    def _maybe_schedule_kick(self) -> None:
+        ready = min(
+            (f.ready_time() for f in self._tx_flows.values()), default=NEVER
+        )
+        if ready > self.engine.now:
+            self._schedule_kick(ready)
+
+    def _kick(self) -> None:
+        self._kick_at = NEVER
+        self.port.notify()
+
+    # --- receive path -------------------------------------------------------------
+
+    def receive(self, pkt: Packet, in_port: Port) -> None:
+        kind = pkt.kind
+        if kind == KIND_DATA:
+            self._receive_data(pkt)
+        elif kind == KIND_ACK:
+            flow = self._tx_flows[pkt.flow_id]
+            flow.on_ack(pkt.seq, pkt.msg_id)
+            flow.on_transport_feedback(ece=bool(pkt.qcn_fb), acked_seq=pkt.seq)
+        elif kind == KIND_NACK:
+            flow = self._tx_flows[pkt.flow_id]
+            flow.rewind_to(pkt.seq)
+        elif kind == KIND_CNP:
+            self.cnps_received += 1
+            flow = self._tx_flows[pkt.flow_id]
+            if flow.rp is not None:
+                flow.rp.on_cnp()
+        elif kind == KIND_PAUSE or kind == KIND_RESUME:
+            if pkt.pause:
+                in_port.rx_pause_frames += 1
+            in_port.set_paused(pkt.pause_priority, pkt.pause)
+        elif kind == KIND_QCN_FB:
+            flow = self._tx_flows[pkt.flow_id]
+            flow.on_qcn_feedback(pkt.qcn_fb)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"{self.name}: unexpected packet {pkt!r}")
+
+    def _receive_data(self, pkt: Packet) -> None:
+        self.data_received += 1
+        rxs = self._rx_states[pkt.flow_id]
+        if rxs.np is not None:
+            rxs.np.on_data_packet(self.engine.now, pkt.ecn == ECN_CE)
+        flow = rxs.flow
+        seq = pkt.seq
+        if seq == rxs.expected_seq:
+            rxs.expected_seq = seq + 1
+            flow.bytes_delivered += pkt.size
+            rxs.unacked_packets += 1
+            if rxs.echo_ecn:
+                self._send_ack(rxs, pkt.msg_id, ece=pkt.ecn == ECN_CE)
+            elif (
+                pkt.msg_id >= 0
+                or rxs.unacked_packets >= self.config.ack_interval_packets
+            ):
+                self._send_ack(rxs, pkt.msg_id)
+        elif seq > rxs.expected_seq:
+            # Gap: go-back-N receivers drop out-of-order arrivals.
+            self.out_of_order_drops += 1
+            now = self.engine.now
+            if (
+                rxs.last_nacked_seq != rxs.expected_seq
+                or now - rxs.last_nack_ns >= self.config.nack_min_interval_ns
+            ):
+                rxs.last_nacked_seq = rxs.expected_seq
+                rxs.last_nack_ns = now
+                self.nacks_sent += 1
+                self._send_control(
+                    Packet(
+                        KIND_NACK,
+                        flow_id=flow.flow_id,
+                        src=self.device_id,
+                        dst=flow.src.nic.device_id,
+                        size=CONTROL_FRAME_BYTES,
+                        seq=rxs.expected_seq,
+                        priority=CONTROL_PRIORITY,
+                    )
+                )
+        else:
+            # Duplicate after a rewind: re-ACK so the sender's state
+            # (and any message-boundary bookkeeping) heals.
+            if pkt.msg_id >= 0:
+                self._send_ack(rxs, pkt.msg_id)
+
+    def _send_ack(self, rxs: _RxState, msg_id: int, ece: bool = False) -> None:
+        flow = rxs.flow
+        rxs.unacked_packets = 0
+        self.acks_sent += 1
+        self._send_control(
+            Packet(
+                KIND_ACK,
+                flow_id=flow.flow_id,
+                src=self.device_id,
+                dst=flow.src.nic.device_id,
+                size=CONTROL_FRAME_BYTES,
+                seq=rxs.expected_seq,
+                priority=CONTROL_PRIORITY,
+                msg_id=msg_id,
+                qcn_fb=1 if ece else 0,
+            )
+        )
+
+    # --- retransmission timeout ------------------------------------------------------
+
+    def _arm_rto(self, flow: Flow) -> None:
+        if not self.config.enable_rto:
+            return
+        if getattr(flow, "_rto_armed", False):
+            return
+        flow._rto_armed = True
+        flow._last_progress_seq = flow.acked_seq
+        self.engine.schedule(self.config.rto_ns, self._rto_check, flow)
+
+    def _rto_check(self, flow: Flow) -> None:
+        flow._rto_armed = False
+        if flow.outstanding_packets() <= 0:
+            flow._consecutive_rtos = 0
+            return  # all data acked; re-armed on next transmission
+        if flow.acked_seq == flow._last_progress_seq:
+            # No progress for a full RTO: tail loss — rewind.
+            self.rto_fires += 1
+            flow._consecutive_rtos += 1
+            limit = self.config.max_rto_retries
+            if limit is not None and flow._consecutive_rtos > limit:
+                # QP error state: the NIC stops retrying (RoCE
+                # retry_cnt exhausted); the flow is dead.
+                flow.failed = True
+                self.failed_flows += 1
+                return
+            flow.rewind_to(flow.acked_seq)
+        else:
+            flow._consecutive_rtos = 0
+        self._arm_rto(flow)

@@ -1,0 +1,191 @@
+"""Packet and frame representations.
+
+One :class:`Packet` class covers every frame the simulator moves:
+RoCEv2 data segments, ACK/NACK transport responses, DCQCN Congestion
+Notification Packets (CNPs), QCN feedback frames, and link-local PFC
+PAUSE/RESUME frames.  A single slotted class keeps the hot allocation
+path cheap and avoids isinstance dispatch in switches.
+
+ECN is modelled with the three IP codepoints that matter here:
+``ECN_NOT_ECT`` (feedback frames), ``ECN_ECT`` (ECN-capable data) and
+``ECN_CE`` (congestion experienced, set by the switch CP algorithm).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+# --- frame kinds ----------------------------------------------------------
+
+KIND_DATA = 0    # RoCEv2 data segment
+KIND_ACK = 1     # transport-level acknowledgement (message completion)
+KIND_NACK = 2    # go-back-N negative ack (out-of-sequence arrival)
+KIND_CNP = 3     # DCQCN congestion notification packet (NP -> RP)
+KIND_PAUSE = 4   # PFC PAUSE, link-local, per priority
+KIND_RESUME = 5  # PFC RESUME (PAUSE with zero quanta), link-local
+KIND_QCN_FB = 6  # QCN congestion feedback frame (baseline)
+
+KIND_NAMES = {
+    KIND_DATA: "DATA",
+    KIND_ACK: "ACK",
+    KIND_NACK: "NACK",
+    KIND_CNP: "CNP",
+    KIND_PAUSE: "PAUSE",
+    KIND_RESUME: "RESUME",
+    KIND_QCN_FB: "QCN_FB",
+}
+
+# --- ECN codepoints -------------------------------------------------------
+
+ECN_NOT_ECT = 0
+ECN_ECT = 1
+ECN_CE = 3
+
+# --- wire constants -------------------------------------------------------
+
+# RoCEv2 per-packet overhead: Ethernet(14+4) + IP(20) + UDP(8) + IB BTH(12)
+# + ICRC(4) + preamble/IPG(20).  We fold headers into the packet size the
+# caller supplies (payload sizes in experiments are MTU-sized already), but
+# expose the constant for workload code that wants goodput conversions.
+ROCE_HEADER_BYTES = 82
+
+# Minimum Ethernet frame: control frames (PFC, CNP, ACK) are modelled at
+# this size.
+CONTROL_FRAME_BYTES = 64
+
+
+class Packet:
+    """A frame in flight.
+
+    Attributes
+    ----------
+    kind:
+        One of the ``KIND_*`` constants.
+    flow_id:
+        Identifier of the flow (RDMA queue pair) the frame belongs to;
+        ``-1`` for link-local PFC frames.
+    src, dst:
+        End-host ids for routable frames (used for forwarding and ECMP
+        hashing).  PFC frames are consumed at the next hop and carry
+        the sender's device id in ``src``.
+    size:
+        Frame size in bytes, including headers.
+    seq:
+        Data sequence number (packet index within the flow); for NACKs
+        the sequence the receiver expects next; unused otherwise.
+    priority:
+        PFC priority class (0..7).  CNPs and transport responses travel
+        in a dedicated high priority class per the paper.
+    ecn:
+        ECN codepoint (``ECN_ECT`` on data, possibly ``ECN_CE`` after
+        marking).
+    msg_id:
+        Application message index (for flow-completion bookkeeping);
+        ``-1`` when not the last packet of a message.
+    pause_priority / pause:
+        PFC fields: affected priority class and True for PAUSE / False
+        for RESUME.
+    qcn_fb:
+        Quantized feedback value for QCN frames.
+    """
+
+    __slots__ = (
+        "kind",
+        "flow_id",
+        "src",
+        "dst",
+        "size",
+        "seq",
+        "priority",
+        "ecn",
+        "msg_id",
+        "pause_priority",
+        "pause",
+        "qcn_fb",
+        "ingress_index",
+    )
+
+    def __init__(
+        self,
+        kind: int,
+        flow_id: int = -1,
+        src: int = -1,
+        dst: int = -1,
+        size: int = CONTROL_FRAME_BYTES,
+        seq: int = 0,
+        priority: int = 0,
+        ecn: int = ECN_NOT_ECT,
+        msg_id: int = -1,
+        pause_priority: int = 0,
+        pause: bool = False,
+        qcn_fb: int = 0,
+    ):
+        self.kind = kind
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.seq = seq
+        self.priority = priority
+        self.ecn = ecn
+        self.msg_id = msg_id
+        self.pause_priority = pause_priority
+        self.pause = pause
+        self.qcn_fb = qcn_fb
+        # Per-hop scratch: index of the ingress port at the switch
+        # currently buffering the packet (for PFC ingress accounting).
+        # Overwritten at every hop; -1 while at an end host.
+        self.ingress_index = -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet({KIND_NAMES.get(self.kind, self.kind)}, flow={self.flow_id}, "
+            f"{self.src}->{self.dst}, {self.size}B, seq={self.seq}, "
+            f"prio={self.priority}, ecn={self.ecn})"
+        )
+
+
+def data_packet(
+    flow_id: int,
+    src: int,
+    dst: int,
+    size: int,
+    seq: int,
+    priority: int,
+    msg_id: int = -1,
+) -> Packet:
+    """Build an ECN-capable RoCEv2 data segment."""
+    return Packet(
+        KIND_DATA,
+        flow_id=flow_id,
+        src=src,
+        dst=dst,
+        size=size,
+        seq=seq,
+        priority=priority,
+        ecn=ECN_ECT,
+        msg_id=msg_id,
+    )
+
+
+def cnp_packet(flow_id: int, src: int, dst: int, priority: int) -> Packet:
+    """Build a Congestion Notification Packet (NP -> RP, high priority)."""
+    return Packet(
+        KIND_CNP,
+        flow_id=flow_id,
+        src=src,
+        dst=dst,
+        size=CONTROL_FRAME_BYTES,
+        priority=priority,
+    )
+
+
+def pause_frame(src_device: int, priority: int, pause: bool) -> Packet:
+    """Build a link-local PFC PAUSE (``pause=True``) or RESUME frame."""
+    return Packet(
+        KIND_PAUSE if pause else KIND_RESUME,
+        src=src_device,
+        size=CONTROL_FRAME_BYTES,
+        pause_priority=priority,
+        pause=pause,
+    )

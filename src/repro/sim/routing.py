@@ -1,0 +1,69 @@
+"""Route computation: shortest-path ECMP tables for every switch.
+
+The testbed routes with BGP and spreads flows with ECMP (paper §2,
+Figure 2).  We reproduce the data-plane outcome: every switch holds,
+per destination host, the set of egress ports that lie on *some*
+shortest path, and picks among them with a per-flow hash
+(:func:`repro.sim.switch.ecmp_hash`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List
+
+from repro.sim.device import Device
+from repro.sim.nic import HostNic
+from repro.sim.switch import Switch
+
+
+def adjacency(devices: Iterable[Device]) -> Dict[int, List[Device]]:
+    """Neighbor map keyed by device id, derived from attached ports."""
+    result: Dict[int, List[Device]] = {}
+    for device in devices:
+        neighbors = []
+        for port in device.ports:
+            if port.peer is None:
+                raise ValueError(f"{device.name} has an unconnected port")
+            neighbors.append(port.peer.owner)
+        result[device.device_id] = neighbors
+    return result
+
+
+def hop_distances(dst: Device, neighbors: Dict[int, List[Device]]) -> Dict[int, int]:
+    """BFS hop counts from every device to ``dst`` (links are equal cost)."""
+    dist = {dst.device_id: 0}
+    frontier = deque([dst])
+    while frontier:
+        device = frontier.popleft()
+        d = dist[device.device_id]
+        for neighbor in neighbors[device.device_id]:
+            if neighbor.device_id not in dist:
+                dist[neighbor.device_id] = d + 1
+                frontier.append(neighbor)
+    return dist
+
+
+def install_routes(switches: Iterable[Switch], nics: Iterable[HostNic]) -> None:
+    """Populate every switch's ECMP table for every host destination.
+
+    For each destination, a switch's next-hop set is its neighbors that
+    sit one hop closer on a shortest path; the corresponding local port
+    indices become the ECMP group.
+    """
+    switches = list(switches)
+    nics = list(nics)
+    neighbors = adjacency([*switches, *nics])
+    for nic in nics:
+        dist = hop_distances(nic, neighbors)
+        for switch in switches:
+            own = dist.get(switch.device_id)
+            if own is None:
+                continue  # partitioned topology: no route from here
+            ports = tuple(
+                port.index
+                for port in switch.ports
+                if dist.get(port.peer.owner.device_id, -2) == own - 1
+            )
+            if ports:
+                switch.set_route(nic.device_id, ports)

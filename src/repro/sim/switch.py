@@ -1,0 +1,306 @@
+"""Shared-buffer switch with PFC, RED/ECN marking and ECMP forwarding.
+
+The model follows the paper's description of the Arista 7050QX32
+(Broadcom Trident II) switches:
+
+* one shared packet buffer; a packet occupies it from arrival until its
+  egress serialization *completes* (store-and-forward, no preemption);
+* PFC accounting is per (ingress port, priority): when the bytes a
+  given ingress has in the buffer exceed ``t_PFC`` a PAUSE goes to that
+  upstream device, and a RESUME follows once the count falls two MTUs
+  below the (current) threshold;
+* ``t_PFC`` is either static or the Trident II dynamic threshold
+  ``beta * (free shared pool) / num_priorities``;
+* ECN marking (the DCQCN CP algorithm) happens at *egress* enqueue
+  using the instantaneous per-(port, priority) egress queue length and
+  the RED profile of Figure 5;
+* forwarding uses a per-destination list of equal-cost egress ports,
+  picked by a deterministic per-flow hash (ECMP);
+* egress scheduling is strict priority, so CNPs travelling in the high
+  priority class overtake data.
+
+Approximation noted for reviewers: the PAUSE trigger is evaluated when
+a packet *arrives* on the (port, priority) in question, and RESUME
+conditions for all paused pairs are re-evaluated at every departure.
+A crossing caused purely by other ports shrinking the dynamic
+threshold is therefore detected at the next arrival, at most one
+packet-time late; the reserved headroom already covers far more than
+that.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro import units
+from repro.buffers.thresholds import SwitchProfile, dynamic_pfc_threshold
+from repro.core.cp import RedEcnMarker
+from repro.core.params import DCQCNParams
+from repro.sim.device import Device
+from repro.sim.engine import EventScheduler
+from repro.sim.link import Port
+from repro.sim.packet import (
+    ECN_CE,
+    ECN_ECT,
+    KIND_PAUSE,
+    KIND_RESUME,
+    Packet,
+    pause_frame,
+)
+
+
+def ecmp_hash(flow_id: int, src: int, dst: int, salt: int) -> int:
+    """Deterministic integer mix for ECMP next-hop selection.
+
+    Mimics a five-tuple hash: the same flow always takes the same path
+    through a given switch, the reverse direction hashes independently,
+    and different ``salt`` values (per switch / per run) re-roll the
+    placement the way re-randomized UDP source ports would.
+    """
+    x = (flow_id * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    x ^= (src * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x ^= (dst * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    x ^= salt & 0xFFFFFFFFFFFFFFFF
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+    return (x ^ (x >> 31)) & 0xFFFFFFFFFFFFFFFF
+
+
+@dataclass
+class SwitchConfig:
+    """Behavioural knobs of one switch.
+
+    ``pfc_mode`` selects how the PAUSE threshold is computed:
+    ``"dynamic"`` (Trident II beta formula, the correct configuration),
+    ``"static"`` (a fixed ``t_pfc_static_bytes`` — used to reproduce
+    the paper's deliberate misconfiguration in Figure 18), or
+    ``"off"`` (no PFC at all; the fabric becomes lossy).
+    """
+
+    profile: SwitchProfile = field(default_factory=SwitchProfile)
+    pfc_mode: str = "dynamic"
+    beta: float = 8.0
+    t_pfc_static_bytes: float = units.kb(24.47)
+    ecn_enabled: bool = True
+    marking: DCQCNParams = field(default_factory=DCQCNParams.deployed)
+    ecn_seed: Optional[int] = None
+    #: lossy-mode (pfc_mode == "off") dynamic egress-queue cap: a queue
+    #: may hold at most ``alpha * free shared buffer`` bytes, the
+    #: standard Broadcom shared-buffer admission rule.  Lossless
+    #: priorities are exempt on real switches (ingress PFC accounting
+    #: protects them), so the cap only applies with PFC disabled.
+    egress_dynamic_alpha: float = 0.125
+
+    def __post_init__(self) -> None:
+        if self.pfc_mode not in ("dynamic", "static", "off"):
+            raise ValueError(f"unknown pfc_mode {self.pfc_mode!r}")
+        if self.beta <= 0:
+            raise ValueError("beta must be positive")
+        if self.egress_dynamic_alpha <= 0:
+            raise ValueError("egress_dynamic_alpha must be positive")
+
+
+class Switch(Device):
+    """A shared-buffer, PFC-capable, ECN-marking switch."""
+
+    def __init__(
+        self,
+        engine: EventScheduler,
+        device_id: int,
+        name: str,
+        config: Optional[SwitchConfig] = None,
+        ecmp_salt: int = 0,
+    ):
+        super().__init__(engine, device_id, name)
+        self.config = config or SwitchConfig()
+        self.ecmp_salt = ecmp_salt
+        profile = self.config.profile
+        self.num_priorities = profile.num_priorities
+        self.buffer_bytes = profile.buffer_bytes
+        # hot-path constants for the dynamic PFC threshold
+        self._shared_pool_bytes = profile.shared_pool_bytes
+        self._dyn_factor = self.config.beta / profile.num_priorities
+        # dst host id -> tuple of egress port indices (equal cost)
+        self.routing_table: Dict[int, Tuple[int, ...]] = {}
+        # accounting
+        self.occupied_bytes = 0
+        self._ingress_bytes: List[List[int]] = []
+        self._egress_bytes: List[List[int]] = []
+        self._egress_queues: List[List[Deque[Packet]]] = []
+        self._nonempty_mask: List[int] = []
+        self._paused_upstream: Dict[Tuple[int, int], bool] = {}
+        seed = self.config.ecn_seed
+        if seed is None:
+            seed = (device_id * 7919 + 13) & 0x7FFFFFFF
+        self._marker = RedEcnMarker(self.config.marking, seed=seed)
+        # counters
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+        self.marked_packets = 0
+        self.pause_frames_sent = 0
+        self.resume_frames_sent = 0
+        self.pause_frames_received = 0
+        self.forwarded_packets = 0
+        self.peak_occupancy_bytes = 0
+
+    # --- wiring ---------------------------------------------------------------
+
+    def attach_port(self, port: Port) -> int:
+        index = super().attach_port(port)
+        k = self.num_priorities
+        self._ingress_bytes.append([0] * k)
+        self._egress_bytes.append([0] * k)
+        self._egress_queues.append([deque() for _ in range(k)])
+        self._nonempty_mask.append(0)
+        return index
+
+    def set_route(self, dst: int, port_indices: Tuple[int, ...]) -> None:
+        """Install the equal-cost egress port set for destination ``dst``."""
+        if not port_indices:
+            raise ValueError(f"{self.name}: empty ECMP set for dst {dst}")
+        for index in port_indices:
+            if index < 0 or index >= len(self.ports):
+                raise ValueError(f"{self.name}: bad port index {index}")
+        self.routing_table[dst] = tuple(port_indices)
+
+    # --- helpers ----------------------------------------------------------------
+
+    def egress_queue_bytes(self, port_index: int, priority: Optional[int] = None) -> int:
+        """Egress queue depth, one priority or the whole port."""
+        if priority is None:
+            return sum(self._egress_bytes[port_index])
+        return self._egress_bytes[port_index][priority]
+
+    def ingress_queue_bytes(self, port_index: int, priority: int) -> int:
+        """Bytes buffered that arrived via (port, priority) — PFC counter."""
+        return self._ingress_bytes[port_index][priority]
+
+    def current_pfc_threshold(self) -> float:
+        """The PAUSE threshold in force right now.
+
+        The dynamic branch is an inlined
+        :func:`repro.buffers.thresholds.dynamic_pfc_threshold` —
+        equality with the reference formula is covered by tests.
+        """
+        config = self.config
+        if config.pfc_mode == "static":
+            return config.t_pfc_static_bytes
+        free = self._shared_pool_bytes - self.occupied_bytes
+        return free * self._dyn_factor if free > 0 else 0.0
+
+    def _pick_egress(self, pkt: Packet) -> int:
+        try:
+            choices = self.routing_table[pkt.dst]
+        except KeyError:
+            raise LookupError(
+                f"{self.name}: no route to host {pkt.dst} (packet {pkt!r})"
+            ) from None
+        if len(choices) == 1:
+            return choices[0]
+        h = ecmp_hash(pkt.flow_id, pkt.src, pkt.dst, self.ecmp_salt)
+        return choices[h % len(choices)]
+
+    # --- datapath ---------------------------------------------------------------
+
+    def receive(self, pkt: Packet, in_port: Port) -> None:
+        kind = pkt.kind
+        if kind == KIND_PAUSE or kind == KIND_RESUME:
+            if pkt.pause:
+                self.pause_frames_received += 1
+                in_port.rx_pause_frames += 1
+            in_port.set_paused(pkt.pause_priority, pkt.pause)
+            return
+        self._enqueue(pkt, in_port.index)
+
+    def _enqueue(self, pkt: Packet, ingress_index: int) -> None:
+        size = pkt.size
+        if self.occupied_bytes + size > self.buffer_bytes:
+            self.dropped_packets += 1
+            self.dropped_bytes += size
+            return
+        egress_index = self._pick_egress(pkt)
+        if self.config.pfc_mode == "off":
+            # lossy-mode admission: dynamic per-queue cap (alpha * free)
+            free = self._shared_pool_bytes - self.occupied_bytes
+            limit = self.config.egress_dynamic_alpha * free
+            if self._egress_bytes[egress_index][pkt.priority] + size > limit:
+                self.dropped_packets += 1
+                self.dropped_bytes += size
+                return
+        prio = pkt.priority
+        # CP algorithm: RED/ECN on the instantaneous egress queue depth.
+        if (
+            self.config.ecn_enabled
+            and pkt.ecn == ECN_ECT
+            and self._marker.should_mark(self._egress_bytes[egress_index][prio])
+        ):
+            pkt.ecn = ECN_CE
+            self.marked_packets += 1
+        pkt.ingress_index = ingress_index
+        self.occupied_bytes += size
+        if self.occupied_bytes > self.peak_occupancy_bytes:
+            self.peak_occupancy_bytes = self.occupied_bytes
+        self._ingress_bytes[ingress_index][prio] += size
+        self._egress_bytes[egress_index][prio] += size
+        self._egress_queues[egress_index][prio].append(pkt)
+        self._nonempty_mask[egress_index] |= 1 << prio
+        self.forwarded_packets += 1
+        self._maybe_pause(ingress_index, prio)
+        self.ports[egress_index].notify()
+
+    def next_packet(self, port: Port) -> Optional[Packet]:
+        index = port.index
+        allowed = self._nonempty_mask[index] & ~port.paused_mask
+        if not allowed:
+            return None
+        prio = allowed.bit_length() - 1  # strict priority, highest first
+        queue = self._egress_queues[index][prio]
+        pkt = queue.popleft()
+        if not queue:
+            self._nonempty_mask[index] &= ~(1 << prio)
+        return pkt
+
+    def tx_complete(self, port: Port, pkt: Packet) -> None:
+        """Free buffer space once the packet has fully left the switch."""
+        if pkt.kind == KIND_PAUSE or pkt.kind == KIND_RESUME:
+            return  # our own control frames are not buffered
+        size = pkt.size
+        prio = pkt.priority
+        self.occupied_bytes -= size
+        self._egress_bytes[port.index][prio] -= size
+        self._ingress_bytes[pkt.ingress_index][prio] -= size
+        self._maybe_resume()
+
+    # --- PFC ------------------------------------------------------------------
+
+    def _maybe_pause(self, ingress_index: int, prio: int) -> None:
+        if self.config.pfc_mode == "off":
+            return
+        key = (ingress_index, prio)
+        if self._paused_upstream.get(key):
+            return
+        if self._ingress_bytes[ingress_index][prio] > self.current_pfc_threshold():
+            self._paused_upstream[key] = True
+            self.pause_frames_sent += 1
+            self.ports[ingress_index].send_control(
+                pause_frame(self.device_id, prio, pause=True)
+            )
+
+    def _maybe_resume(self) -> None:
+        if not self._paused_upstream:
+            return
+        threshold = self.current_pfc_threshold()
+        hysteresis = 2 * self.config.profile.mtu_bytes
+        resume_below = threshold - hysteresis
+        for key, paused in list(self._paused_upstream.items()):
+            if not paused:
+                continue
+            ingress_index, prio = key
+            if self._ingress_bytes[ingress_index][prio] <= resume_below:
+                self._paused_upstream[key] = False
+                self.resume_frames_sent += 1
+                self.ports[ingress_index].send_control(
+                    pause_frame(self.device_id, prio, pause=False)
+                )

@@ -1,0 +1,33 @@
+"""Synthetic workloads (paper §6.2).
+
+The paper could not replay its production trace either; it extracted
+"salient characteristics... such as flow size distribution" and
+generated matching synthetic traffic.  This package does the same:
+
+* :mod:`repro.traffic.distributions` — inverse-CDF flow-size
+  distributions (a storage-backend mix plus the classic DCTCP ones).
+* :mod:`repro.traffic.workload` — closed-loop user-pair traffic and
+  incast (disk-rebuild) events on a simulated network.
+"""
+
+from repro.traffic.distributions import (
+    FlowSizeDistribution,
+    storage_cluster,
+    web_search,
+    data_mining,
+)
+from repro.traffic.workload import (
+    UserPair,
+    UserTrafficWorkload,
+    IncastWorkload,
+)
+
+__all__ = [
+    "FlowSizeDistribution",
+    "storage_cluster",
+    "web_search",
+    "data_mining",
+    "UserPair",
+    "UserTrafficWorkload",
+    "IncastWorkload",
+]

@@ -1,0 +1,170 @@
+"""Workload generators on a simulated network (paper §6.2).
+
+Two components, matching the paper's benchmark traffic:
+
+* **User traffic** — a fixed number of communicating pairs; each pair
+  issues message transfers back to back, with sizes drawn from a flow
+  size distribution ("to simulate user traffic, each host communicates
+  with one or more randomly selected host, and transfers data using
+  distributions derived from traces").
+* **Incast (disk rebuild)** — one receiver fetching from K senders
+  simultaneously ("failed disks are repaired by fetching backups from
+  several other servers"); modelled as K greedy flows into one host,
+  as the rebuild sources stream chunk data continuously.
+
+Throughput metrics follow the paper: per-user-pair goodput and
+per-incast-sender goodput, summarized by median and 10th percentile.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.sim.host import Flow, Host, Message
+from repro.sim.network import Network
+from repro.traffic.distributions import FlowSizeDistribution, storage_cluster
+
+
+@dataclass
+class UserPair:
+    """One communicating pair and its flow."""
+
+    src: Host
+    dst: Host
+    flow: Flow
+
+
+class UserTrafficWorkload:
+    """Closed-loop user-pair traffic over ``net``.
+
+    Each pair keeps exactly one message outstanding; when it completes
+    the next is drawn from the distribution and queued immediately.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        hosts: Sequence[Host],
+        n_pairs: int,
+        distribution: Optional[FlowSizeDistribution] = None,
+        cc: str = "dcqcn",
+        seed: int = 0,
+        exclude: Sequence[Host] = (),
+        fresh_qp_per_message: bool = False,
+    ):
+        if n_pairs < 1:
+            raise ValueError("need at least one pair")
+        eligible = [host for host in hosts if host not in set(exclude)]
+        if len(eligible) < 2:
+            raise ValueError("need at least two eligible hosts")
+        self.net = net
+        self.distribution = distribution or storage_cluster()
+        self.rng = random.Random(seed)
+        self.pairs: List[UserPair] = []
+        self._started = False
+        #: True models each transfer as a new queue pair: the reaction
+        #: point forgets its congestion state and the transfer starts
+        #: at line rate (paper §3.1's hyper-fast start).  This is what
+        #: makes PFC indispensable in Figure 18.
+        self.fresh_qp_per_message = fresh_qp_per_message
+        for _ in range(n_pairs):
+            src = self.rng.choice(eligible)
+            dst = self.rng.choice([host for host in eligible if host is not src])
+            flow = net.add_flow(src, dst, cc=cc)
+            flow.on_message_complete = self._next_message
+            self.pairs.append(UserPair(src, dst, flow))
+
+    def start(self) -> None:
+        """Queue the first message on every pair."""
+        if self._started:
+            raise RuntimeError("workload already started")
+        self._started = True
+        for pair in self.pairs:
+            pair.flow.send_message(self.distribution.sample(self.rng))
+
+    def _next_message(self, flow: Flow, message: Message) -> None:
+        if self.fresh_qp_per_message and flow.rp is not None:
+            flow.rp.reset_to_line_rate()
+        flow.send_message(self.distribution.sample(self.rng))
+
+    # --- metrics ---------------------------------------------------------------
+
+    def pair_throughputs_bps(self, duration_ns: int) -> List[float]:
+        """Per-pair goodput over the run (delivered bytes / duration)."""
+        if duration_ns <= 0:
+            raise ValueError("duration must be positive")
+        return [
+            pair.flow.bytes_delivered * 8e9 / duration_ns for pair in self.pairs
+        ]
+
+    def completed_message_throughputs_bps(self) -> List[float]:
+        """Goodput of every completed message across all pairs."""
+        result = []
+        for pair in self.pairs:
+            for message in pair.flow.messages:
+                if message.completed:
+                    result.append(message.throughput_bps())
+        return result
+
+    def message_fcts_ns(self, since_ns: int = 0) -> List[float]:
+        """Completion times of messages started at/after ``since_ns``.
+
+        The paper reports the 90th percentile of response time as the
+        user-experience metric; feed this list to
+        :func:`repro.analysis.stats.percentile`.
+        """
+        result = []
+        for pair in self.pairs:
+            for message in pair.flow.messages:
+                if message.completed and message.start_ns >= since_ns:
+                    result.append(float(message.fct_ns()))
+        return result
+
+
+class IncastWorkload:
+    """K-to-1 incast: disk-rebuild traffic into one receiver."""
+
+    def __init__(
+        self,
+        net: Network,
+        receiver: Host,
+        senders: Sequence[Host],
+        cc: str = "dcqcn",
+        start_ns: int = 0,
+    ):
+        if not senders:
+            raise ValueError("need at least one sender")
+        if receiver in senders:
+            raise ValueError("receiver cannot also be a sender")
+        self.net = net
+        self.receiver = receiver
+        self.senders = list(senders)
+        self.flows: List[Flow] = []
+        for sender in self.senders:
+            flow = net.add_flow(sender, receiver, cc=cc, start_ns=start_ns)
+            flow.set_greedy()
+            self.flows.append(flow)
+
+    @property
+    def degree(self) -> int:
+        return len(self.flows)
+
+    def sender_throughputs_bps(self, duration_ns: int) -> List[float]:
+        """Per-sender goodput over the run."""
+        if duration_ns <= 0:
+            raise ValueError("duration must be positive")
+        return [flow.bytes_delivered * 8e9 / duration_ns for flow in self.flows]
+
+
+def pick_incast_participants(
+    hosts: Sequence[Host], degree: int, rng: random.Random
+) -> tuple:
+    """Choose a receiver and ``degree`` distinct senders at random."""
+    if degree + 1 > len(hosts):
+        raise ValueError(
+            f"incast degree {degree} needs {degree + 1} hosts, have {len(hosts)}"
+        )
+    chosen = rng.sample(list(hosts), degree + 1)
+    return chosen[0], chosen[1:]

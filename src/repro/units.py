@@ -1,0 +1,122 @@
+"""Unit helpers shared across the library.
+
+The simulator keeps time as an integer number of nanoseconds and data
+rates as floating-point bits per second.  These helpers keep the
+conversions explicit and readable: ``us(50)`` is clearly fifty
+microseconds, ``gbps(40)`` clearly forty gigabits per second.
+
+All byte-quantity helpers use *decimal* multiples (1 KB = 1000 bytes),
+matching the convention the paper uses for switch buffers (a "12MB"
+Trident II buffer is 12e6 bytes; that is the only interpretation that
+reproduces the paper's 24.47 KB PFC threshold).
+"""
+
+from __future__ import annotations
+
+# --- time -> nanoseconds -------------------------------------------------
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_SEC = 1_000_000_000
+
+
+def ns(value: float) -> int:
+    """Nanoseconds (identity, rounded to an integer tick)."""
+    return int(round(value))
+
+
+def us(value: float) -> int:
+    """Microseconds expressed in integer nanoseconds."""
+    return int(round(value * NS_PER_US))
+
+
+def ms(value: float) -> int:
+    """Milliseconds expressed in integer nanoseconds."""
+    return int(round(value * NS_PER_MS))
+
+
+def seconds(value: float) -> int:
+    """Seconds expressed in integer nanoseconds."""
+    return int(round(value * NS_PER_SEC))
+
+
+def to_seconds(time_ns: int) -> float:
+    """Convert an integer-nanosecond timestamp back to float seconds."""
+    return time_ns / NS_PER_SEC
+
+
+def to_us(time_ns: int) -> float:
+    """Convert an integer-nanosecond timestamp back to float microseconds."""
+    return time_ns / NS_PER_US
+
+
+def to_ms(time_ns: int) -> float:
+    """Convert an integer-nanosecond timestamp back to float milliseconds."""
+    return time_ns / NS_PER_MS
+
+
+# --- data sizes -> bytes (decimal) ---------------------------------------
+
+
+def kb(value: float) -> int:
+    """Kilobytes (decimal, 1 KB = 1000 B) expressed in bytes."""
+    return int(round(value * 1_000))
+
+
+def mb(value: float) -> int:
+    """Megabytes (decimal, 1 MB = 1e6 B) expressed in bytes."""
+    return int(round(value * 1_000_000))
+
+
+def gb(value: float) -> int:
+    """Gigabytes (decimal, 1 GB = 1e9 B) expressed in bytes."""
+    return int(round(value * 1_000_000_000))
+
+
+def to_kb(size_bytes: float) -> float:
+    """Bytes expressed in decimal kilobytes."""
+    return size_bytes / 1_000
+
+
+# --- data rates -> bits per second ---------------------------------------
+
+
+def bps(value: float) -> float:
+    """Bits per second (identity)."""
+    return float(value)
+
+
+def mbps(value: float) -> float:
+    """Megabits per second expressed in bits per second."""
+    return value * 1e6
+
+
+def gbps(value: float) -> float:
+    """Gigabits per second expressed in bits per second."""
+    return value * 1e9
+
+
+def to_gbps(rate_bps: float) -> float:
+    """Bits per second expressed in gigabits per second."""
+    return rate_bps / 1e9
+
+
+def serialization_time_ns(size_bytes: int, rate_bps: float) -> int:
+    """Time to clock ``size_bytes`` onto a link running at ``rate_bps``.
+
+    Rounds up to a whole nanosecond so that back-to-back transmissions
+    can never overlap.
+    """
+    if rate_bps <= 0:
+        raise ValueError("rate_bps must be positive, got %r" % rate_bps)
+    bits = size_bytes * 8
+    exact = bits * NS_PER_SEC / rate_bps
+    whole = int(exact)
+    if exact > whole:
+        whole += 1
+    return whole
+
+
+def bytes_per_ns(rate_bps: float) -> float:
+    """Bytes transferred per nanosecond at ``rate_bps``."""
+    return rate_bps / (8 * NS_PER_SEC)

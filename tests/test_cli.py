@@ -1,0 +1,53 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, list_experiments, main
+
+
+class TestParser:
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig03", "--scale", "huge"])
+
+
+class TestDispatch:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in COMMANDS:
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_every_command_is_listed(self):
+        listing = list_experiments()
+        assert listing.count("\n") == len(COMMANDS) + 1
+
+    def test_tab14_runs(self, capsys):
+        assert main(["tab14"]) == 0
+        out = capsys.readouterr().out
+        assert "Kmin" in out
+        assert "1/256" in out
+
+    def test_sec4_runs(self, capsys):
+        assert main(["sec4"]) == 0
+        assert "24.48 KB" in capsys.readouterr().out
+
+    def test_fig01_runs(self, capsys):
+        assert main(["fig01"]) == 0
+        out = capsys.readouterr().out
+        assert "TCP" in out and "latency" in out
+
+    def test_scale_override(self, capsys, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert main(["tab14", "--scale", "full"]) == 0
+        assert os.environ["REPRO_SCALE"] == "full"

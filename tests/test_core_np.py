@@ -1,0 +1,63 @@
+"""NP algorithm: CNP pacing (Figure 6)."""
+
+import pytest
+
+from repro import units
+from repro.core.np import NotificationPoint
+
+
+def make_np(interval=units.us(50)):
+    sent = []
+    np_ = NotificationPoint(interval, lambda: sent.append(True))
+    return np_, sent
+
+
+class TestCnpGeneration:
+    def test_first_marked_packet_fires_immediately(self):
+        np_, sent = make_np()
+        assert np_.on_data_packet(0, ce_marked=True)
+        assert len(sent) == 1
+
+    def test_unmarked_packets_never_fire(self):
+        """'No CNPs are generated in the common case of no congestion.'"""
+        np_, sent = make_np()
+        for t in range(0, 10**6, 1000):
+            assert not np_.on_data_packet(t, ce_marked=False)
+        assert sent == []
+
+    def test_suppressed_within_window(self):
+        np_, sent = make_np()
+        np_.on_data_packet(0, ce_marked=True)
+        assert not np_.on_data_packet(units.us(49), ce_marked=True)
+        assert len(sent) == 1
+
+    def test_fires_after_window(self):
+        np_, sent = make_np()
+        np_.on_data_packet(0, ce_marked=True)
+        assert np_.on_data_packet(units.us(50), ce_marked=True)
+        assert len(sent) == 2
+
+    def test_at_most_one_per_window_under_continuous_marking(self):
+        np_, sent = make_np()
+        # marked packet every microsecond for 1 ms
+        for t in range(0, units.ms(1), units.us(1)):
+            np_.on_data_packet(t, ce_marked=True)
+        assert len(sent) == 20  # 1 ms / 50 us
+
+    def test_window_restarts_from_last_cnp(self):
+        np_, sent = make_np()
+        np_.on_data_packet(units.us(7), ce_marked=True)
+        assert not np_.on_data_packet(units.us(50), ce_marked=True)
+        assert np_.on_data_packet(units.us(57), ce_marked=True)
+
+    def test_counters(self):
+        np_, _ = make_np()
+        np_.on_data_packet(0, ce_marked=True)
+        np_.on_data_packet(1, ce_marked=True)
+        np_.on_data_packet(2, ce_marked=False)
+        assert np_.marked_seen == 2
+        assert np_.cnps_sent == 1
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            NotificationPoint(0, lambda: None)

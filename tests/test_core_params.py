@@ -1,0 +1,112 @@
+"""DCQCN parameter sets (Table 14 / strawman) and their validation."""
+
+import pytest
+
+from repro import units
+from repro.core.params import DCQCNParams
+
+
+class TestDeployedValues:
+    """Table 14 — the deployed configuration."""
+
+    def test_table14(self):
+        p = DCQCNParams.deployed()
+        assert p.rate_increase_timer_ns == units.us(55)
+        assert p.byte_counter_bytes == units.mb(10)
+        assert p.kmax_bytes == units.kb(200)
+        assert p.kmin_bytes == units.kb(5)
+        assert p.pmax == pytest.approx(0.01)
+        assert p.g == pytest.approx(1 / 256)
+
+    def test_cnp_interval_50us(self):
+        assert DCQCNParams.deployed().cnp_interval_ns == units.us(50)
+
+    def test_alpha_timer_exceeds_cnp_interval(self):
+        p = DCQCNParams.deployed()
+        assert p.alpha_timer_ns > p.cnp_interval_ns
+
+    def test_initial_alpha_is_one(self):
+        assert DCQCNParams.deployed().initial_alpha == 1.0
+
+    def test_rate_steps(self):
+        p = DCQCNParams.deployed()
+        assert p.rai_bps == units.mbps(40)
+        assert p.rhai_bps == units.mbps(400)
+        assert p.fast_recovery_threshold == 5
+
+
+class TestStrawman:
+    """§5.2's QCN/DCTCP starting point."""
+
+    def test_values(self):
+        p = DCQCNParams.strawman()
+        assert p.byte_counter_bytes == units.kb(150)
+        assert p.rate_increase_timer_ns == units.ms(1.5)
+        assert p.g == pytest.approx(1 / 16)
+
+    def test_cutoff_marking(self):
+        p = DCQCNParams.strawman()
+        assert p.kmin_bytes == p.kmax_bytes == units.kb(40)
+        assert p.pmax == 1.0
+
+
+class TestDerivedConfigs:
+    def test_with_cutoff_marking(self):
+        p = DCQCNParams.deployed().with_cutoff_marking(units.kb(160))
+        assert p.kmin_bytes == p.kmax_bytes == units.kb(160)
+        assert p.pmax == 1.0
+        # everything else untouched
+        assert p.g == DCQCNParams.deployed().g
+
+    def test_with_red_marking(self):
+        p = DCQCNParams.deployed().with_red_marking(units.kb(10), units.kb(100), 0.05)
+        assert (p.kmin_bytes, p.kmax_bytes, p.pmax) == (10_000, 100_000, 0.05)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DCQCNParams.deployed().g = 0.5
+
+
+class TestValidation:
+    def test_kmin_above_kmax_rejected(self):
+        with pytest.raises(ValueError):
+            DCQCNParams(kmin_bytes=units.kb(100), kmax_bytes=units.kb(50))
+
+    def test_pmax_zero_rejected(self):
+        with pytest.raises(ValueError):
+            DCQCNParams(pmax=0.0)
+
+    def test_pmax_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            DCQCNParams(pmax=1.5)
+
+    def test_g_zero_rejected(self):
+        with pytest.raises(ValueError):
+            DCQCNParams(g=0.0)
+
+    def test_alpha_timer_below_cnp_interval_rejected(self):
+        # "Note that K must be larger than the CNP generation timer"
+        with pytest.raises(ValueError):
+            DCQCNParams(alpha_timer_ns=units.us(10), cnp_interval_ns=units.us(50))
+
+    def test_increase_timer_below_cnp_interval_rejected(self):
+        # "the timer cannot be smaller than 50us, which is NP's CNP
+        # generation interval"
+        with pytest.raises(ValueError):
+            DCQCNParams(rate_increase_timer_ns=units.us(10))
+
+    def test_byte_counter_positive(self):
+        with pytest.raises(ValueError):
+            DCQCNParams(byte_counter_bytes=0)
+
+    def test_fast_recovery_threshold_positive(self):
+        with pytest.raises(ValueError):
+            DCQCNParams(fast_recovery_threshold=0)
+
+    def test_jitter_must_stay_below_timer(self):
+        with pytest.raises(ValueError):
+            DCQCNParams(rate_increase_timer_jitter_ns=units.us(55))
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            DCQCNParams(rai_bps=-1)

@@ -1,0 +1,37 @@
+"""The example scripts stay runnable.
+
+Each example is compiled and its entry module imported; the cheapest
+(quickstart) is executed end to end with a shortened duration.
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3  # quickstart + at least two scenarios
+
+
+def test_quickstart_runs_end_to_end(tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES[0].parent / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "bottleneck queue peak" in result.stdout
+    assert "PFC PAUSE frames sent by the switch: 0" in result.stdout

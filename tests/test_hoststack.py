@@ -1,0 +1,102 @@
+"""Figure 1 host-stack model: calibration points and shapes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+from repro.hoststack.model import (
+    HostSpec,
+    RdmaStackModel,
+    TcpStackModel,
+    compare_stacks,
+)
+
+
+class TestTcpModel:
+    def test_cpu_bound_at_small_messages(self):
+        """Figure 1(a): TCP cannot saturate 40 G with 4 KB messages."""
+        tcp = TcpStackModel()
+        assert tcp.throughput_bps(units.kb(4)) < units.gbps(40)
+        assert tcp.cpu_utilization(units.kb(4)) == pytest.approx(1.0)
+
+    def test_saturates_with_large_messages(self):
+        tcp = TcpStackModel()
+        assert tcp.throughput_bps(units.mb(4)) == units.gbps(40)
+
+    def test_over_20_pct_cpu_at_line_rate(self):
+        """'with 4MB message size, to drive full throughput, TCP
+        consumes, on average, over 20% CPU cycles across all cores'."""
+        tcp = TcpStackModel()
+        assert tcp.cpu_utilization(units.mb(4)) > 0.20
+
+    def test_latency_matches_paper(self):
+        """25.4 us for a 2 KB transfer."""
+        assert TcpStackModel().latency_us(2048) == pytest.approx(25.4, abs=0.1)
+
+    def test_throughput_monotone_in_message_size(self):
+        tcp = TcpStackModel()
+        sizes = [units.kb(4), units.kb(16), units.kb(64), units.mb(1)]
+        rates = [tcp.throughput_bps(s) for s in sizes]
+        assert rates == sorted(rates)
+
+    @given(st.integers(min_value=1, max_value=10**8))
+    def test_cpu_utilization_is_a_fraction(self, size):
+        u = TcpStackModel().cpu_utilization(size)
+        assert 0.0 <= u <= 1.0
+
+    def test_rejects_nonpositive_message(self):
+        with pytest.raises(ValueError):
+            TcpStackModel().throughput_bps(0)
+
+
+class TestRdmaModel:
+    def test_single_flow_saturates(self):
+        """'With RDMA, a single thread saturates the link.'"""
+        rdma = RdmaStackModel()
+        assert rdma.throughput_bps(units.kb(4)) == units.gbps(40)
+
+    def test_client_cpu_under_3_pct(self):
+        """'CPU utilization of the RDMA client is under 3%, even for
+        small message sizes.'"""
+        rdma = RdmaStackModel()
+        for size in (units.kb(4), units.kb(64), units.mb(4)):
+            assert rdma.client_cpu_utilization(size) < 0.03
+
+    def test_server_cpu_is_zero(self):
+        rdma = RdmaStackModel()
+        assert rdma.server_cpu_utilization(units.mb(1)) == 0.0
+
+    def test_latencies_match_paper(self):
+        """1.7 us read/write, 2.8 us send."""
+        rdma = RdmaStackModel()
+        assert rdma.latency_us(2048, "write") == pytest.approx(1.7, abs=0.05)
+        assert rdma.latency_us(2048, "read") == pytest.approx(1.7, abs=0.05)
+        assert rdma.latency_us(2048, "send") == pytest.approx(2.8, abs=0.05)
+
+    def test_latency_far_below_tcp(self):
+        assert RdmaStackModel().latency_us(2048) < TcpStackModel().latency_us(2048) / 5
+
+    def test_nic_message_rate_caps_tiny_messages(self):
+        rdma = RdmaStackModel()
+        assert rdma.throughput_bps(64) < units.gbps(40)
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ValueError):
+            RdmaStackModel().latency_us(2048, "atomic")
+
+
+class TestComparison:
+    def test_figure1_rows(self):
+        rows = compare_stacks()
+        assert len(rows) == 6
+        for size, row in rows.items():
+            assert row.rdma_throughput_gbps >= row.tcp_throughput_gbps
+            assert row.rdma_client_cpu_pct < row.tcp_cpu_pct
+
+    def test_custom_spec_propagates(self):
+        spec = HostSpec(cores=4, clock_hz=2e9)
+        tcp = TcpStackModel(spec=spec)
+        # a quarter of the cores: CPU-bound ceiling drops accordingly
+        assert tcp.throughput_bps(units.kb(16)) < TcpStackModel().throughput_bps(
+            units.kb(16)
+        )

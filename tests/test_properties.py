@@ -1,0 +1,106 @@
+"""Property-based tests over randomized small networks.
+
+Hypothesis drives topology size, flow placement and run length; the
+invariants must hold for every draw:
+
+* switch buffer accounting balances (occupancy drains to zero);
+* no packet is ever delivered that was not sent;
+* with PFC on and sane thresholds, nothing is dropped;
+* DCQCN rates always stay within [min_rate, line_rate];
+* the simulation is deterministic given the seed.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import units
+from repro.core.params import DCQCNParams
+from repro.sim.topology import single_switch
+
+slow = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+network_draw = st.tuples(
+    st.integers(min_value=2, max_value=6),   # senders
+    st.integers(min_value=0, max_value=1000), # seed
+    st.sampled_from(["dcqcn", "none"]),       # congestion control
+    st.integers(min_value=1, max_value=4),    # run length (ms)
+)
+
+
+def run_incast(n_senders, seed, cc, run_ms):
+    net, switch, hosts = single_switch(n_senders + 1, seed=seed)
+    receiver = hosts[-1]
+    flows = [net.add_flow(h, receiver, cc=cc) for h in hosts[:n_senders]]
+    for flow in flows:
+        flow.set_greedy()
+    net.run_for(units.ms(run_ms))
+    return net, switch, flows
+
+
+class TestSimulatorInvariants:
+    @slow
+    @given(network_draw)
+    def test_buffer_accounting_balances(self, draw):
+        n, seed, cc, run_ms = draw
+        net, switch, flows = run_incast(n, seed, cc, run_ms)
+        # stop the sources, let everything drain
+        for flow in flows:
+            flow.greedy = False
+            flow.end_seq = flow.next_seq
+        net.run_for(units.ms(5))
+        assert switch.occupied_bytes == 0
+        for port_index in range(len(switch.ports)):
+            assert switch.egress_queue_bytes(port_index) == 0
+            for prio in range(switch.num_priorities):
+                assert switch.ingress_queue_bytes(port_index, prio) == 0
+
+    @slow
+    @given(network_draw)
+    def test_conservation(self, draw):
+        n, seed, cc, run_ms = draw
+        _, _, flows = run_incast(n, seed, cc, run_ms)
+        for flow in flows:
+            assert 0 <= flow.bytes_delivered <= flow.bytes_sent
+
+    @slow
+    @given(network_draw)
+    def test_lossless_with_pfc(self, draw):
+        n, seed, cc, run_ms = draw
+        net, switch, _ = run_incast(n, seed, cc, run_ms)
+        assert switch.dropped_packets == 0
+
+    @slow
+    @given(network_draw)
+    def test_dcqcn_rates_bounded(self, draw):
+        n, seed, _, run_ms = draw
+        _, _, flows = run_incast(n, seed, "dcqcn", run_ms)
+        params = DCQCNParams.deployed()
+        for flow in flows:
+            assert params.min_rate_bps <= flow.rp.rc_bps <= units.gbps(40)
+            assert params.min_rate_bps <= flow.rp.rt_bps <= units.gbps(40)
+
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=100))
+    def test_determinism(self, seed):
+        def signature(run_seed):
+            _, switch, flows = run_incast(3, run_seed, "dcqcn", 2)
+            return (
+                tuple(f.bytes_delivered for f in flows),
+                switch.marked_packets,
+                switch.pause_frames_sent,
+            )
+
+        assert signature(seed) == signature(seed)
+
+    @slow
+    @given(st.integers(min_value=2, max_value=8),
+           st.integers(min_value=0, max_value=50))
+    def test_utilization_never_exceeds_line_rate(self, n, seed):
+        run_ms = 3
+        _, _, flows = run_incast(n, seed, "none", run_ms)
+        total = sum(f.bytes_delivered for f in flows) * 8e9 / units.ms(run_ms)
+        assert total <= units.gbps(40) * 1.01

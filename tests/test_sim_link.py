@@ -1,0 +1,190 @@
+"""Ports and links: serialization, propagation, pause, no preemption."""
+
+from typing import List, Optional
+
+import pytest
+
+from repro import units
+from repro.engine import EventScheduler
+from repro.sim.device import Device
+from repro.sim.link import Port, connect
+from repro.sim.packet import Packet, KIND_DATA, pause_frame
+
+
+class StubDevice(Device):
+    """Minimal device: queue of outgoing packets, log of arrivals."""
+
+    def __init__(self, engine, device_id, name):
+        super().__init__(engine, device_id, name)
+        self.outbox: List[Packet] = []
+        self.received: List[tuple] = []
+        self.tx_completed: List[Packet] = []
+
+    def receive(self, pkt, in_port):
+        self.received.append((self.engine.now, pkt))
+
+    def next_packet(self, port) -> Optional[Packet]:
+        for index, pkt in enumerate(self.outbox):
+            if port.can_send(pkt.priority):
+                return self.outbox.pop(index)
+        return None
+
+    def tx_complete(self, port, pkt):
+        self.tx_completed.append(pkt)
+
+    def push(self, pkt):
+        self.outbox.append(pkt)
+        self.ports[0].notify()
+
+
+def make_pair(rate=units.gbps(40), delay=500):
+    engine = EventScheduler()
+    a = StubDevice(engine, 0, "a")
+    b = StubDevice(engine, 1, "b")
+    port_a, port_b = connect(engine, a, b, rate, delay)
+    return engine, a, b, port_a, port_b
+
+
+class TestTiming:
+    def test_delivery_time_is_serialization_plus_propagation(self):
+        engine, a, b, *_ = make_pair()
+        a.push(Packet(KIND_DATA, size=1000))
+        engine.run()
+        # 1000B @ 40G = 200ns + 500ns propagation
+        assert b.received[0][0] == 700
+
+    def test_back_to_back_serialization(self):
+        engine, a, b, *_ = make_pair()
+        a.push(Packet(KIND_DATA, size=1000))
+        a.push(Packet(KIND_DATA, size=1000))
+        engine.run()
+        times = [t for t, _ in b.received]
+        assert times == [700, 900]  # second waits for the wire
+
+    def test_propagation_pipelines(self):
+        """Propagation overlaps with the next serialization."""
+        engine, a, b, *_ = make_pair(delay=10_000)
+        for _ in range(3):
+            a.push(Packet(KIND_DATA, size=1000))
+        engine.run()
+        times = [t for t, _ in b.received]
+        assert times == [10_200, 10_400, 10_600]
+
+    def test_tx_complete_fires_at_serialization_end(self):
+        engine, a, b, *_ = make_pair()
+        a.push(Packet(KIND_DATA, size=1000))
+        engine.run_until(200)
+        assert len(a.tx_completed) == 1
+        assert not b.received  # still propagating
+
+    def test_counters(self):
+        engine, a, _, port_a, _ = make_pair()
+        a.push(Packet(KIND_DATA, size=1000))
+        a.push(Packet(KIND_DATA, size=500))
+        engine.run()
+        assert port_a.tx_packets == 2
+        assert port_a.tx_bytes == 1500
+
+    def test_utilization(self):
+        engine, a, _, port_a, _ = make_pair()
+        a.push(Packet(KIND_DATA, size=1000))
+        engine.run()
+        engine.run_until(400)
+        assert port_a.utilization(400) == pytest.approx(0.5)
+
+
+class TestPause:
+    def test_paused_priority_not_sent(self):
+        engine, a, b, port_a, _ = make_pair()
+        port_a.set_paused(0, True)
+        a.push(Packet(KIND_DATA, size=1000, priority=0))
+        engine.run()
+        assert b.received == []
+
+    def test_other_priorities_flow_during_pause(self):
+        engine, a, b, port_a, _ = make_pair()
+        port_a.set_paused(0, True)
+        a.push(Packet(KIND_DATA, size=1000, priority=0))
+        a.push(Packet(KIND_DATA, size=1000, priority=6))
+        engine.run()
+        assert [pkt.priority for _, pkt in b.received] == [6]
+
+    def test_resume_restarts_transmission(self):
+        engine, a, b, port_a, _ = make_pair()
+        port_a.set_paused(0, True)
+        a.push(Packet(KIND_DATA, size=1000))
+        engine.run()
+        port_a.set_paused(0, False)
+        engine.run()
+        assert len(b.received) == 1
+
+    def test_no_preemption_of_inflight_frame(self):
+        """A frame whose serialization began always completes (the
+        paper's headroom math depends on this)."""
+        engine, a, b, port_a, _ = make_pair()
+        a.push(Packet(KIND_DATA, size=1000))
+        engine.run_until(100)  # mid-serialization
+        port_a.set_paused(0, True)
+        engine.run()
+        assert len(b.received) == 1
+
+    def test_can_send_reflects_mask(self):
+        engine, a, _, port_a, _ = make_pair()
+        port_a.set_paused(3, True)
+        assert not port_a.can_send(3)
+        assert port_a.can_send(0)
+        port_a.set_paused(3, False)
+        assert port_a.can_send(3)
+
+
+class TestControlBypass:
+    def test_control_frame_jumps_queue(self):
+        engine, a, b, port_a, _ = make_pair()
+        for _ in range(5):
+            a.push(Packet(KIND_DATA, size=1000))
+        engine.run_until(100)  # first frame in flight
+        port_a.send_control(pause_frame(0, 0, pause=True))
+        engine.run()
+        kinds = [pkt.kind for _, pkt in b.received]
+        # control is second on the wire: right after the inflight frame
+        assert kinds[1] == pause_frame(0, 0, True).kind
+
+    def test_control_ignores_pause(self):
+        engine, a, b, port_a, _ = make_pair()
+        port_a.paused_mask = 0xFF  # everything paused
+        port_a.send_control(pause_frame(0, 0, pause=True))
+        engine.run()
+        assert len(b.received) == 1
+
+    def test_tx_pause_frame_counter(self):
+        engine, a, _, port_a, _ = make_pair()
+        port_a.send_control(pause_frame(0, 0, pause=True))
+        port_a.send_control(pause_frame(0, 0, pause=False))
+        engine.run()
+        assert port_a.tx_pause_frames == 1  # RESUME doesn't count
+
+
+class TestValidation:
+    def test_bad_rate(self):
+        engine = EventScheduler()
+        a = StubDevice(engine, 0, "a")
+        with pytest.raises(ValueError):
+            Port(engine, a, 0, 10)
+
+    def test_bad_delay(self):
+        engine = EventScheduler()
+        a = StubDevice(engine, 0, "a")
+        with pytest.raises(ValueError):
+            Port(engine, a, units.gbps(40), -1)
+
+    def test_port_to(self):
+        _, a, b, port_a, port_b = make_pair()
+        assert a.port_to(b) is port_a
+        assert b.port_to(a) is port_b
+
+    def test_port_to_missing(self):
+        engine = EventScheduler()
+        a = StubDevice(engine, 0, "a")
+        c = StubDevice(engine, 2, "c")
+        with pytest.raises(LookupError):
+            a.port_to(c)

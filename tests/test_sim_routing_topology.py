@@ -1,0 +1,151 @@
+"""Route computation and topology builders."""
+
+import pytest
+
+from repro import units
+from repro.sim.routing import adjacency, hop_distances, install_routes
+from repro.sim.topology import (
+    dumbbell,
+    parking_lot,
+    single_switch,
+    three_tier_clos,
+)
+
+
+class TestSingleSwitch:
+    def test_structure(self):
+        net, switch, hosts = single_switch(4)
+        assert len(hosts) == 4
+        assert len(switch.ports) == 4
+        assert len(net.switches) == 1
+
+    def test_every_host_routable(self):
+        net, switch, hosts = single_switch(4)
+        for host in hosts:
+            assert host.nic.device_id in switch.routing_table
+
+    def test_rejects_single_host(self):
+        with pytest.raises(ValueError):
+            single_switch(1)
+
+    def test_end_to_end(self):
+        net, _, hosts = single_switch(3)
+        flow = net.add_flow(hosts[0], hosts[2])
+        flow.send_message(units.kb(10))
+        net.run_for(units.ms(1))
+        assert flow.messages_completed == 1
+
+
+class TestDumbbell:
+    def test_structure(self):
+        net, lefts, rights = dumbbell(2, 3)
+        assert len(lefts) == 2 and len(rights) == 3
+        assert len(net.switches) == 2
+
+    def test_cross_traffic_shares_trunk(self):
+        net, lefts, rights = dumbbell(2, 2)
+        f1 = net.add_flow(lefts[0], rights[0], cc="none")
+        f2 = net.add_flow(lefts[1], rights[1], cc="none")
+        f1.set_greedy()
+        f2.set_greedy()
+        net.run_for(units.ms(5))
+        total = (f1.bytes_delivered + f2.bytes_delivered) * 8e9 / units.ms(5)
+        # both squeeze through one 40G trunk
+        assert total < units.gbps(41)
+        assert total > units.gbps(35)
+
+
+class TestParkingLot:
+    def test_structure(self):
+        net, hosts = parking_lot()
+        assert set(hosts) == {"H1", "H2", "H3", "R1", "R2"}
+
+    def test_flow_paths_share_expected_links(self):
+        net, hosts = parking_lot()
+        f1 = net.add_flow(hosts["H1"], hosts["R1"], cc="none")
+        f2 = net.add_flow(hosts["H2"], hosts["R2"], cc="none")
+        f1.set_greedy()
+        f2.set_greedy()
+        net.run_for(units.ms(5))
+        trunk = net.switches[0].port_to(net.switches[1])
+        # both flows crossed the A->B trunk
+        assert trunk.tx_bytes >= f1.bytes_delivered + f2.bytes_delivered
+
+
+class TestClos:
+    def test_structure(self):
+        spec = three_tier_clos(hosts_per_tor=3)
+        assert len(spec.tors) == 4
+        assert len(spec.leaves) == 4
+        assert len(spec.spines) == 2
+        assert len(spec.all_hosts()) == 12
+
+    def test_tor_port_counts(self):
+        spec = three_tier_clos(hosts_per_tor=3)
+        # 2 leaf uplinks + 3 hosts
+        assert all(len(tor.ports) == 5 for tor in spec.tors)
+
+    def test_leaf_port_counts(self):
+        spec = three_tier_clos(hosts_per_tor=3)
+        # 2 ToRs + 2 spines
+        assert all(len(leaf.ports) == 4 for leaf in spec.leaves)
+
+    def test_cross_pod_ecmp_width(self):
+        """A ToR has two equal-cost uplinks toward a cross-pod host."""
+        spec = three_tier_clos(hosts_per_tor=1)
+        t1 = spec.tors[0]
+        far_host = spec.host(3, 0)
+        assert len(t1.routing_table[far_host.nic.device_id]) == 2
+
+    def test_local_host_single_route(self):
+        spec = three_tier_clos(hosts_per_tor=2)
+        t1 = spec.tors[0]
+        local = spec.host(0, 0)
+        assert len(t1.routing_table[local.nic.device_id]) == 1
+
+    def test_cross_pod_transfer(self):
+        spec = three_tier_clos(hosts_per_tor=1)
+        flow = spec.net.add_flow(spec.host(0, 0), spec.host(3, 0))
+        flow.send_message(units.kb(100))
+        spec.net.run_for(units.ms(2))
+        assert flow.messages_completed == 1
+
+    def test_same_tor_transfer(self):
+        spec = three_tier_clos(hosts_per_tor=2)
+        flow = spec.net.add_flow(spec.host(0, 0), spec.host(0, 1))
+        flow.send_message(units.kb(100))
+        spec.net.run_for(units.ms(2))
+        assert flow.messages_completed == 1
+
+    def test_rejects_zero_hosts(self):
+        with pytest.raises(ValueError):
+            three_tier_clos(hosts_per_tor=0)
+
+    def test_spine_pause_counter_initially_zero(self):
+        spec = three_tier_clos(hosts_per_tor=1)
+        assert spec.spine_pause_frames() == 0
+
+
+class TestRoutingPrimitives:
+    def test_hop_distances_on_clos(self):
+        spec = three_tier_clos(hosts_per_tor=1)
+        devices = [s for s in spec.net.switches] + [
+            h.nic for h in spec.net.hosts
+        ]
+        neighbors = adjacency(devices)
+        target = spec.host(3, 0).nic
+        dist = hop_distances(target, neighbors)
+        assert dist[spec.tors[3].device_id] == 1
+        assert dist[spec.tors[0].device_id] == 5  # ToR-leaf-spine-leaf-ToR-host
+
+    def test_routes_follow_shortest_paths(self):
+        """Next hops strictly decrease the distance to the target."""
+        spec = three_tier_clos(hosts_per_tor=2)
+        devices = [s for s in spec.net.switches] + [h.nic for h in spec.net.hosts]
+        neighbors = adjacency(devices)
+        for host in spec.net.hosts:
+            dist = hop_distances(host.nic, neighbors)
+            for switch in spec.net.switches:
+                for port_index in switch.routing_table[host.nic.device_id]:
+                    peer = switch.ports[port_index].peer.owner
+                    assert dist[peer.device_id] == dist[switch.device_id] - 1

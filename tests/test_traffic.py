@@ -1,0 +1,195 @@
+"""Flow-size distributions and workload generators."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+from repro.sim.topology import single_switch, three_tier_clos
+from repro.traffic.distributions import (
+    FlowSizeDistribution,
+    data_mining,
+    storage_cluster,
+    web_search,
+)
+from repro.traffic.workload import (
+    IncastWorkload,
+    UserTrafficWorkload,
+    pick_incast_participants,
+)
+
+
+class TestDistributionValidation:
+    def test_needs_two_anchors(self):
+        with pytest.raises(ValueError):
+            FlowSizeDistribution("x", [(1000, 1.0)])
+
+    def test_sizes_strictly_increasing(self):
+        with pytest.raises(ValueError):
+            FlowSizeDistribution("x", [(1000, 0.5), (1000, 1.0)])
+
+    def test_probabilities_nondecreasing(self):
+        with pytest.raises(ValueError):
+            FlowSizeDistribution("x", [(1000, 0.8), (2000, 0.5), (3000, 1.0)])
+
+    def test_final_probability_must_be_one(self):
+        with pytest.raises(ValueError):
+            FlowSizeDistribution("x", [(1000, 0.5), (2000, 0.9)])
+
+
+class TestQuantiles:
+    def test_bounds(self):
+        dist = storage_cluster()
+        assert dist.quantile(0.0) == units.kb(1)
+        assert dist.quantile(1.0) == units.mb(16)
+
+    def test_quantile_range_check(self):
+        with pytest.raises(ValueError):
+            storage_cluster().quantile(1.5)
+
+    @given(st.floats(min_value=0, max_value=1))
+    def test_quantile_within_support(self, u):
+        dist = storage_cluster()
+        size = dist.quantile(u)
+        assert units.kb(1) <= size <= units.mb(16)
+
+    @given(
+        st.floats(min_value=0, max_value=1),
+        st.floats(min_value=0, max_value=1),
+    )
+    def test_quantile_monotone(self, u1, u2):
+        dist = web_search()
+        if u1 > u2:
+            u1, u2 = u2, u1
+        assert dist.quantile(u1) <= dist.quantile(u2)
+
+    def test_sampling_deterministic_per_seed(self):
+        dist = storage_cluster()
+        a = [dist.sample(random.Random(4)) for _ in range(1)]
+        b = [dist.sample(random.Random(4)) for _ in range(1)]
+        assert a == b
+
+    def test_mean_in_plausible_range(self):
+        # heavy-tailed: mean far above median
+        dist = storage_cluster()
+        mean = dist.mean()
+        assert units.kb(100) < mean < units.mb(2)
+        assert mean > dist.quantile(0.5)
+
+    def test_all_builtin_distributions_load(self):
+        for dist in (storage_cluster(), web_search(), data_mining()):
+            assert dist.quantile(0.5) > 0
+
+
+class TestUserTrafficWorkload:
+    def test_closed_loop_progresses(self):
+        net, _, hosts = single_switch(6, seed=3)
+        workload = UserTrafficWorkload(net, hosts, n_pairs=4, seed=1)
+        workload.start()
+        net.run_for(units.ms(5))
+        completed = sum(p.flow.messages_completed for p in workload.pairs)
+        assert completed > 0
+        # the loop keeps refilling: at most one message gap per pair
+        for pair in workload.pairs:
+            assert len(pair.flow.messages) >= pair.flow.messages_completed
+
+    def test_start_twice_rejected(self):
+        net, _, hosts = single_switch(4, seed=3)
+        workload = UserTrafficWorkload(net, hosts, n_pairs=2, seed=1)
+        workload.start()
+        with pytest.raises(RuntimeError):
+            workload.start()
+
+    def test_excluded_hosts_not_used(self):
+        net, _, hosts = single_switch(6, seed=3)
+        banned = hosts[0]
+        workload = UserTrafficWorkload(
+            net, hosts, n_pairs=8, seed=2, exclude=[banned]
+        )
+        for pair in workload.pairs:
+            assert pair.src is not banned
+            assert pair.dst is not banned
+
+    def test_pairs_never_self_directed(self):
+        net, _, hosts = single_switch(6, seed=3)
+        workload = UserTrafficWorkload(net, hosts, n_pairs=20, seed=5)
+        assert all(p.src is not p.dst for p in workload.pairs)
+
+    def test_throughput_metrics(self):
+        net, _, hosts = single_switch(4, seed=3)
+        workload = UserTrafficWorkload(net, hosts, n_pairs=2, seed=1)
+        workload.start()
+        net.run_for(units.ms(5))
+        rates = workload.pair_throughputs_bps(units.ms(5))
+        assert len(rates) == 2
+        assert all(rate > 0 for rate in rates)
+        assert workload.completed_message_throughputs_bps()
+
+    def test_validation(self):
+        net, _, hosts = single_switch(4, seed=3)
+        with pytest.raises(ValueError):
+            UserTrafficWorkload(net, hosts, n_pairs=0)
+        with pytest.raises(ValueError):
+            UserTrafficWorkload(net, hosts[:1], n_pairs=1)
+
+
+class TestIncastWorkload:
+    def test_all_senders_stream(self):
+        net, _, hosts = single_switch(5, seed=3)
+        incast = IncastWorkload(net, hosts[-1], hosts[:4])
+        net.run_for(units.ms(5))
+        rates = incast.sender_throughputs_bps(units.ms(5))
+        assert incast.degree == 4
+        assert all(rate > units.gbps(1) for rate in rates)
+
+    def test_receiver_cannot_send_to_itself(self):
+        net, _, hosts = single_switch(4, seed=3)
+        with pytest.raises(ValueError):
+            IncastWorkload(net, hosts[0], hosts[:2])
+
+    def test_needs_senders(self):
+        net, _, hosts = single_switch(4, seed=3)
+        with pytest.raises(ValueError):
+            IncastWorkload(net, hosts[0], [])
+
+    def test_pick_participants(self):
+        net, _, hosts = single_switch(6, seed=3)
+        receiver, senders = pick_incast_participants(hosts, 3, random.Random(1))
+        assert receiver not in senders
+        assert len(set(senders)) == 3
+
+    def test_pick_participants_bounds(self):
+        net, _, hosts = single_switch(3, seed=3)
+        with pytest.raises(ValueError):
+            pick_incast_participants(hosts, 3, random.Random(1))
+
+
+class TestFctMetrics:
+    def test_fcts_collected(self):
+        net, _, hosts = single_switch(4, seed=3)
+        workload = UserTrafficWorkload(net, hosts, n_pairs=2, seed=1)
+        workload.start()
+        net.run_for(units.ms(5))
+        fcts = workload.message_fcts_ns()
+        assert fcts
+        assert all(fct > 0 for fct in fcts)
+
+    def test_since_filter(self):
+        net, _, hosts = single_switch(4, seed=3)
+        workload = UserTrafficWorkload(net, hosts, n_pairs=2, seed=1)
+        workload.start()
+        net.run_for(units.ms(5))
+        late_only = workload.message_fcts_ns(since_ns=units.ms(4))
+        assert len(late_only) <= len(workload.message_fcts_ns())
+
+    def test_fct_p90_reasonable(self):
+        from repro.analysis.stats import percentile
+
+        net, _, hosts = single_switch(4, seed=3)
+        workload = UserTrafficWorkload(net, hosts, n_pairs=2, seed=1)
+        workload.start()
+        net.run_for(units.ms(8))
+        fcts = workload.message_fcts_ns()
+        # messages up to 16 MB at >= fair share finish within the run
+        assert percentile(fcts, 90) < units.ms(8)

@@ -1,0 +1,99 @@
+"""Unit-conversion helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestTimeConversions:
+    def test_us(self):
+        assert units.us(50) == 50_000
+
+    def test_ms(self):
+        assert units.ms(1.5) == 1_500_000
+
+    def test_seconds(self):
+        assert units.seconds(2) == 2_000_000_000
+
+    def test_ns_rounds(self):
+        assert units.ns(1.6) == 2
+
+    def test_roundtrip_to_seconds(self):
+        assert units.to_seconds(units.seconds(3)) == 3.0
+
+    def test_roundtrip_to_us(self):
+        assert units.to_us(units.us(55)) == 55.0
+
+    def test_roundtrip_to_ms(self):
+        assert units.to_ms(units.ms(7)) == 7.0
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_us_monotone(self, value):
+        assert units.us(value + 1) > units.us(value)
+
+
+class TestSizeConversions:
+    def test_kb_is_decimal(self):
+        # the paper's 12 MB buffer only reproduces t_PFC = 24.47 KB
+        # with decimal megabytes
+        assert units.kb(1) == 1000
+
+    def test_mb(self):
+        assert units.mb(12) == 12_000_000
+
+    def test_gb(self):
+        assert units.gb(1) == 10**9
+
+    def test_fractional_kb(self):
+        assert units.kb(22.4) == 22_400
+
+    def test_to_kb(self):
+        assert units.to_kb(5_000) == 5.0
+
+
+class TestRates:
+    def test_gbps(self):
+        assert units.gbps(40) == 40e9
+
+    def test_mbps(self):
+        assert units.mbps(40) == 40e6
+
+    def test_to_gbps(self):
+        assert units.to_gbps(40e9) == 40.0
+
+    def test_bytes_per_ns(self):
+        # 40 Gbps = 5 bytes per ns
+        assert units.bytes_per_ns(units.gbps(40)) == pytest.approx(5.0)
+
+
+class TestSerializationTime:
+    def test_mtu_at_40g(self):
+        # 1000 B at 40 Gbps = 200 ns exactly
+        assert units.serialization_time_ns(1000, units.gbps(40)) == 200
+
+    def test_rounds_up(self):
+        # 64 B at 40 Gbps = 12.8 ns -> 13
+        assert units.serialization_time_ns(64, units.gbps(40)) == 13
+
+    def test_zero_bytes(self):
+        assert units.serialization_time_ns(0, units.gbps(40)) == 0
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            units.serialization_time_ns(1000, 0)
+
+    @given(
+        st.integers(min_value=1, max_value=10**7),
+        st.floats(min_value=1e6, max_value=1e12),
+    )
+    def test_never_underestimates(self, size, rate):
+        ns = units.serialization_time_ns(size, rate)
+        assert ns >= size * 8 / rate * 1e9 - 1e-6
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_additive_upper_bound(self, size):
+        """Rounding up never costs more than 1 ns per packet."""
+        rate = units.gbps(40)
+        exact = size * 8 / rate * 1e9
+        assert units.serialization_time_ns(size, rate) <= exact + 1
