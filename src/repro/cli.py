@@ -4,10 +4,15 @@ Usage::
 
     python -m repro list                 # what can be regenerated
     python -m repro fig03                # Figure 3 (PFC unfairness)
+    python -m repro run fig03            # same, explicit form
     python -m repro fig16 --scale full   # longer runs, more repetitions
+    python -m repro fig16 --jobs 4       # fan repetitions across 4 cores
     python -m repro sec4                 # §4 buffer-threshold table
 
 Each command prints the same rows the corresponding benchmark emits.
+The dispatch table is :data:`repro.runner.REGISTRY`, populated by
+:mod:`repro.experiments.catalog`; ``--jobs`` / ``--no-cache`` set the
+``REPRO_JOBS`` / ``REPRO_CACHE`` knobs for the invocation.
 """
 
 from __future__ import annotations
@@ -15,199 +20,29 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Callable, Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.experiments import common
-from repro.experiments.common import format_table
+import repro.experiments.catalog  # noqa: F401  (populates REGISTRY)
+from repro.runner import JOBS_ENV, REGISTRY, SCALE_ENV, format_table
+from repro.runner.cache import CACHE_ENV
+from repro.runner.scale import SCALES
 
-
-def _fig01() -> str:
-    from repro.hoststack.model import RdmaStackModel, TcpStackModel, compare_stacks
-
-    rows = [
-        [
-            str(size),
-            f"{row.tcp_throughput_gbps:.1f}",
-            f"{row.tcp_cpu_pct:.0f}",
-            f"{row.rdma_throughput_gbps:.1f}",
-            f"{row.rdma_client_cpu_pct:.2f}",
-        ]
-        for size, row in compare_stacks().items()
-    ]
-    table = format_table(
-        ["bytes", "TCP Gbps", "TCP CPU%", "RDMA Gbps", "RDMA cli CPU%"], rows
-    )
-    tcp, rdma = TcpStackModel(), RdmaStackModel()
-    return (
-        table
-        + f"\nlatency (2KB): TCP {tcp.latency_us():.1f} us, RDMA write "
-        f"{rdma.latency_us():.2f} us, RDMA send "
-        f"{rdma.latency_us(operation='send'):.2f} us"
-    )
-
-
-def _fig03() -> str:
-    from repro.experiments.pfc_pathologies import run_unfairness
-
-    return run_unfairness("none").table()
-
-
-def _fig04() -> str:
-    from repro.experiments.pfc_pathologies import run_victim_flow
-
-    return run_victim_flow("none").table()
-
-
-def _fig08() -> str:
-    from repro.experiments.pfc_pathologies import run_unfairness
-
-    return run_unfairness("dcqcn").table()
-
-
-def _fig09() -> str:
-    from repro.experiments.pfc_pathologies import run_victim_flow
-
-    return run_victim_flow("dcqcn").table()
-
-
-def _fig10() -> str:
-    from repro.experiments.fluid_validation import run_fluid_vs_sim
-
-    result = run_fluid_vs_sim()
-    return (
-        result.table()
-        + f"\ncorrelation {result.correlation():.3f}, "
-        f"normalized RMSE {result.normalized_rmse():.3f}"
-    )
-
-
-def _fig11() -> str:
-    from repro.experiments.sweeps import FIG11_PANELS, fig11_table, run_fig11_panel
-
-    parts = []
-    for panel in sorted(FIG11_PANELS):
-        parts.append(f"-- {panel} --\n" + fig11_table(panel, run_fig11_panel(panel)))
-    return "\n\n".join(parts)
-
-
-def _fig12() -> str:
-    from repro.experiments.sweeps import run_fig12
-
-    return run_fig12().table()
-
-
-def _fig13() -> str:
-    from repro.experiments.fluid_validation import run_all_validations
-
-    rows = [
-        [
-            name,
-            f"{res.mean_rate_gbps[0]:.1f}",
-            f"{res.mean_rate_gbps[1]:.1f}",
-            f"{res.rate_gap_gbps:.2f}",
-        ]
-        for name, res in run_all_validations().items()
-    ]
-    return format_table(["config", "flow1 Gbps", "flow2 Gbps", "gap"], rows)
-
-
-def _tab14() -> str:
-    from repro.core.params import DCQCNParams
-
-    params = DCQCNParams.deployed()
-    rows = [
-        ["timer", f"{params.rate_increase_timer_ns / 1e3:.0f} us"],
-        ["byte counter", f"{params.byte_counter_bytes / 1e6:.0f} MB"],
-        ["Kmax", f"{params.kmax_bytes / 1e3:.0f} KB"],
-        ["Kmin", f"{params.kmin_bytes / 1e3:.0f} KB"],
-        ["Pmax", f"{params.pmax:.0%}"],
-        ["g", f"1/{round(1 / params.g)}"],
-    ]
-    return format_table(["parameter", "value"], rows)
-
-
-def _fig15() -> str:
-    from repro.experiments.benchmark_traffic import run_benchmark_traffic
-
-    rows = []
-    for variant in ("none", "dcqcn"):
-        result = run_benchmark_traffic(variant, incast_degree=10)
-        rows.append([variant, result.total_spine_pauses()])
-    return format_table(["variant", "spine PAUSE frames"], rows)
-
-
-def _fig16() -> str:
-    from repro.experiments.benchmark_traffic import fig16_table, run_fig16
-
-    return fig16_table(run_fig16(degrees=common.pick((2, 6, 10), (2, 4, 6, 8, 10))))
-
-
-def _fig17() -> str:
-    from repro.experiments.benchmark_traffic import RESULT_HEADERS, run_fig17
-
-    results = run_fig17()
-    return format_table(RESULT_HEADERS, [r.row() for r in results.values()])
-
-
-def _fig18() -> str:
-    from repro.experiments.benchmark_traffic import RESULT_HEADERS, run_fig18
-
-    return format_table(
-        RESULT_HEADERS, [r.row() for r in run_fig18().values()]
-    )
-
-
-def _fig19() -> str:
-    from repro.experiments.latency import QUEUE_HEADERS, run_fig19
-
-    return format_table(QUEUE_HEADERS, [r.row() for r in run_fig19()])
-
-
-def _fig20() -> str:
-    from repro.experiments.multibottleneck import PARKING_HEADERS, run_fig20
-
-    return format_table(PARKING_HEADERS, [r.row() for r in run_fig20()])
-
-
-def _sec4() -> str:
-    from repro.experiments.buffer_settings import section4_table
-
-    return section4_table()
-
-
-def _sec61() -> str:
-    from repro.experiments.microbench import INCAST_HEADERS, run_incast_sweep
-
-    return format_table(INCAST_HEADERS, [r.row() for r in run_incast_sweep()])
-
-
-def _sec7() -> str:
-    from repro.experiments.link_errors import LOSS_HEADERS, run_loss_sweep
-
-    return format_table(LOSS_HEADERS, [r.row() for r in run_loss_sweep()])
-
-
+#: compat view of the registry: id -> (runner, description)
 COMMANDS: Dict[str, tuple] = {
-    "fig01": (_fig01, "TCP vs RDMA throughput / CPU / latency"),
-    "fig03": (_fig03, "PFC parking-lot unfairness"),
-    "fig04": (_fig04, "PFC victim flow"),
-    "fig08": (_fig08, "DCQCN fixes the unfairness"),
-    "fig09": (_fig09, "DCQCN rescues the victim"),
-    "fig10": (_fig10, "fluid model vs packet simulator"),
-    "fig11": (_fig11, "parameter sweeps for convergence"),
-    "fig12": (_fig12, "g sweep: queue length and stability"),
-    "fig13": (_fig13, "parameter validation on the simulator"),
-    "tab14": (_tab14, "deployed parameter values"),
-    "fig15": (_fig15, "PAUSE frames at the spines"),
-    "fig16": (_fig16, "benchmark traffic vs incast degree"),
-    "fig17": (_fig17, "16x user load comparison"),
-    "fig18": (_fig18, "need for PFC and correct thresholds"),
-    "fig19": (_fig19, "queue length: DCQCN vs DCTCP"),
-    "fig20": (_fig20, "multi-bottleneck marking comparison"),
-    "sec4": (_sec4, "buffer threshold calculations"),
-    "sec61": (_sec61, "K:1 incast utilization sweep"),
-    "sec7": (_sec7, "non-congestion loss sensitivity"),
+    exp.id: (exp.runner, exp.description) for exp in REGISTRY
 }
+
+
+def _jobs_arg(value: str) -> str:
+    """Reject bad ``--jobs`` values at parse time, not mid-experiment."""
+    try:
+        if value != "auto" and int(value) < 1:
+            raise ValueError
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        ) from None
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -217,37 +52,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e.g. fig16, sec4) or 'list'",
+        help="experiment id (e.g. fig16, sec4), 'run <id>', or 'list'",
+    )
+    parser.add_argument(
+        "extra",
+        nargs="?",
+        default=None,
+        help="experiment id when the first argument is 'run'",
     )
     parser.add_argument(
         "--scale",
-        choices=("quick", "full"),
+        choices=SCALES,
         default=None,
         help="override REPRO_SCALE for this invocation",
+    )
+    parser.add_argument(
+        "--jobs",
+        default=None,
+        type=_jobs_arg,
+        help="worker processes for cell fan-out ('auto' or an integer; "
+        "sets REPRO_JOBS)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute everything, ignoring results/.cache/",
     )
     return parser
 
 
 def list_experiments() -> str:
-    rows = [[name, blurb] for name, (_, blurb) in sorted(COMMANDS.items())]
+    rows = [[exp.id, exp.description] for exp in REGISTRY]
     return format_table(["experiment", "regenerates"], rows)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.scale is not None:
-        os.environ[common.SCALE_ENV] = args.scale
-    if args.experiment == "list":
+        os.environ[SCALE_ENV] = args.scale
+    if args.jobs is not None:
+        os.environ[JOBS_ENV] = str(args.jobs)
+    if args.no_cache:
+        os.environ[CACHE_ENV] = "off"
+    experiment_id = args.experiment
+    if experiment_id == "run":
+        if args.extra is None:
+            print("usage: repro run <experiment id>", file=sys.stderr)
+            return 2
+        experiment_id = args.extra
+    if experiment_id == "list":
         print(list_experiments())
         return 0
-    try:
-        runner, blurb = COMMANDS[args.experiment]
-    except KeyError:
+    if experiment_id not in REGISTRY:
         print(
-            f"unknown experiment {args.experiment!r}; try 'list'",
+            f"unknown experiment {experiment_id!r}; try 'list'",
             file=sys.stderr,
         )
         return 2
-    print(f"=== {args.experiment}: {blurb} ===")
-    print(runner())
+    experiment = REGISTRY.get(experiment_id)
+    print(f"=== {experiment.id}: {experiment.description} ===")
+    print(experiment.run())
     return 0

@@ -179,9 +179,11 @@ class PeriodicTimer:
     ):
         if period <= 0:
             raise ValueError(f"timer period must be positive, got {period}ns")
-        if jitter_ns < 0 or jitter_ns >= period:
-            if jitter_ns != 0:
-                raise ValueError("jitter must be in [0, period)")
+        if not 0 <= jitter_ns < period:
+            raise ValueError(
+                f"jitter must be in [0, period), got {jitter_ns}ns "
+                f"for a {period}ns period"
+            )
         self._engine = engine
         self._period = period
         self._fn = fn

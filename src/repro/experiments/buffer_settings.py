@@ -9,18 +9,13 @@ the misconfigured static thresholds, PFC fires before ECN.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, Optional
 
 from repro import units
-from repro.buffers.thresholds import (
-    SwitchProfile,
-    ThresholdPlan,
-    plan_thresholds,
-)
-from repro.core.params import DCQCNParams
+from repro.buffers.thresholds import ThresholdPlan, plan_thresholds
 from repro.experiments import common
-from repro.sim.switch import SwitchConfig
-from repro.sim.topology import single_switch
+from repro.runner import Cell, execute
+from repro.runner import scale
 
 
 def section4_table(plan: Optional[ThresholdPlan] = None) -> str:
@@ -70,22 +65,18 @@ class EcnBeforePfcCheck:
         )
 
 
-def run_ecn_before_pfc_check(
+def ecn_check_cell(
     misconfigured: bool,
-    incast_degree: int = 8,
-    duration_ns: Optional[int] = None,
-    warmup_ns: Optional[int] = None,
-    seed: int = 53,
-) -> EcnBeforePfcCheck:
-    """Drive an incast and observe which mechanism fires.
+    incast_degree: int,
+    duration_ns: int,
+    warmup_ns: int,
+    seed: int,
+) -> Dict[str, Any]:
+    """Drive an incast and observe which mechanism fires — worker entry."""
+    from repro.core.params import DCQCNParams
+    from repro.sim.switch import SwitchConfig
+    from repro.sim.topology import single_switch
 
-    ``misconfigured=True`` uses the Figure 18 mis-setting (static
-    t_PFC = 24.47 KB, marking threshold 5x higher).
-    """
-    duration_ns = duration_ns or common.pick(units.ms(8), units.ms(20))
-    warmup_ns = warmup_ns if warmup_ns is not None else common.pick(
-        units.ms(5), units.ms(15)
-    )
     if misconfigured:
         params = DCQCNParams.deployed().with_red_marking(
             kmin_bytes=units.kb(122), kmax_bytes=units.kb(200), pmax=0.01
@@ -112,10 +103,39 @@ def run_ecn_before_pfc_check(
     marks_before = switch.marked_packets
     drops_before = switch.dropped_packets
     net.run_for(duration_ns)
-    return EcnBeforePfcCheck(
-        configuration=name,
-        marked_packets=switch.marked_packets - marks_before,
-        pause_frames=switch.pause_frames_sent - startup_pauses,
-        dropped_packets=switch.dropped_packets - drops_before,
-        startup_pause_frames=startup_pauses,
-    )
+    return {
+        "configuration": name,
+        "marked_packets": switch.marked_packets - marks_before,
+        "pause_frames": switch.pause_frames_sent - startup_pauses,
+        "dropped_packets": switch.dropped_packets - drops_before,
+        "startup_pause_frames": startup_pauses,
+    }
+
+
+_CELL_FN = "repro.experiments.buffer_settings:ecn_check_cell"
+
+
+def run_ecn_before_pfc_check(
+    misconfigured: bool,
+    incast_degree: int = 8,
+    duration_ns: Optional[int] = None,
+    warmup_ns: Optional[int] = None,
+    seed: int = 53,
+) -> EcnBeforePfcCheck:
+    """Drive an incast and observe which mechanism fires.
+
+    ``misconfigured=True`` uses the Figure 18 mis-setting (static
+    t_PFC = 24.47 KB, marking threshold 5x higher).
+    """
+    duration_ns = duration_ns or scale.pick(units.ms(8), units.ms(20), units.ms(2))
+    if warmup_ns is None:
+        warmup_ns = scale.pick(units.ms(5), units.ms(15), units.ms(2))
+    kwargs = {
+        "misconfigured": misconfigured,
+        "incast_degree": incast_degree,
+        "duration_ns": duration_ns,
+        "warmup_ns": warmup_ns,
+        "seed": seed,
+    }
+    (value,) = execute([Cell(_CELL_FN, kwargs)])
+    return EcnBeforePfcCheck(**value)

@@ -1,0 +1,199 @@
+"""The experiment catalog: every reproducible figure/table, registered.
+
+Importing this module populates :data:`repro.runner.REGISTRY` with one
+entry per paper artifact.  Each runner is a zero-argument callable
+returning the rendered table; heavyweight imports stay inside the
+runners so ``python -m repro list`` stays fast.
+"""
+
+from __future__ import annotations
+
+from repro.runner import experiment
+from repro.runner.results import format_table
+
+
+@experiment("fig01", "TCP vs RDMA throughput / CPU / latency")
+def fig01() -> str:
+    from repro.hoststack.model import RdmaStackModel, TcpStackModel, compare_stacks
+
+    rows = [
+        [
+            str(size),
+            f"{row.tcp_throughput_gbps:.1f}",
+            f"{row.tcp_cpu_pct:.0f}",
+            f"{row.rdma_throughput_gbps:.1f}",
+            f"{row.rdma_client_cpu_pct:.2f}",
+        ]
+        for size, row in compare_stacks().items()
+    ]
+    table = format_table(
+        ["bytes", "TCP Gbps", "TCP CPU%", "RDMA Gbps", "RDMA cli CPU%"], rows
+    )
+    tcp, rdma = TcpStackModel(), RdmaStackModel()
+    return (
+        table
+        + f"\nlatency (2KB): TCP {tcp.latency_us():.1f} us, RDMA write "
+        f"{rdma.latency_us():.2f} us, RDMA send "
+        f"{rdma.latency_us(operation='send'):.2f} us"
+    )
+
+
+@experiment("fig03", "PFC parking-lot unfairness")
+def fig03() -> str:
+    from repro.experiments.pfc_pathologies import run_unfairness
+
+    return run_unfairness("none").table()
+
+
+@experiment("fig04", "PFC victim flow")
+def fig04() -> str:
+    from repro.experiments.pfc_pathologies import run_victim_flow
+
+    return run_victim_flow("none").table()
+
+
+@experiment("fig08", "DCQCN fixes the unfairness")
+def fig08() -> str:
+    from repro.experiments.pfc_pathologies import run_unfairness
+
+    return run_unfairness("dcqcn").table()
+
+
+@experiment("fig09", "DCQCN rescues the victim")
+def fig09() -> str:
+    from repro.experiments.pfc_pathologies import run_victim_flow
+
+    return run_victim_flow("dcqcn").table()
+
+
+@experiment("fig10", "fluid model vs packet simulator")
+def fig10() -> str:
+    from repro.experiments.fluid_validation import run_fluid_vs_sim
+
+    result = run_fluid_vs_sim()
+    return (
+        result.table()
+        + f"\ncorrelation {result.correlation():.3f}, "
+        f"normalized RMSE {result.normalized_rmse():.3f}"
+    )
+
+
+@experiment("fig11", "parameter sweeps for convergence")
+def fig11() -> str:
+    from repro.experiments.sweeps import fig11_table, run_fig11
+
+    return "\n\n".join(
+        f"-- {panel} --\n" + fig11_table(panel, result)
+        for panel, result in run_fig11().items()
+    )
+
+
+@experiment("fig12", "g sweep: queue length and stability")
+def fig12() -> str:
+    from repro.experiments.sweeps import run_fig12
+
+    return run_fig12().table()
+
+
+@experiment("fig13", "parameter validation on the simulator")
+def fig13() -> str:
+    from repro.experiments.fluid_validation import run_all_validations
+
+    rows = [
+        [
+            name,
+            f"{res.mean_rate_gbps[0]:.1f}",
+            f"{res.mean_rate_gbps[1]:.1f}",
+            f"{res.rate_gap_gbps:.2f}",
+        ]
+        for name, res in run_all_validations().items()
+    ]
+    return format_table(["config", "flow1 Gbps", "flow2 Gbps", "gap"], rows)
+
+
+@experiment("tab14", "deployed parameter values")
+def tab14() -> str:
+    from repro.core.params import DCQCNParams
+
+    params = DCQCNParams.deployed()
+    rows = [
+        ["timer", f"{params.rate_increase_timer_ns / 1e3:.0f} us"],
+        ["byte counter", f"{params.byte_counter_bytes / 1e6:.0f} MB"],
+        ["Kmax", f"{params.kmax_bytes / 1e3:.0f} KB"],
+        ["Kmin", f"{params.kmin_bytes / 1e3:.0f} KB"],
+        ["Pmax", f"{params.pmax:.0%}"],
+        ["g", f"1/{round(1 / params.g)}"],
+    ]
+    return format_table(["parameter", "value"], rows)
+
+
+@experiment("fig15", "PAUSE frames at the spines")
+def fig15() -> str:
+    from repro.experiments.benchmark_traffic import run_benchmark_traffic
+
+    rows = []
+    for variant in ("none", "dcqcn"):
+        result = run_benchmark_traffic(variant, incast_degree=10)
+        rows.append([variant, result.total_spine_pauses()])
+    return format_table(["variant", "spine PAUSE frames"], rows)
+
+
+@experiment("fig16", "benchmark traffic vs incast degree")
+def fig16() -> str:
+    from repro.experiments.benchmark_traffic import fig16_table, run_fig16
+    from repro.runner import scale
+
+    degrees = scale.pick((2, 6, 10), (2, 4, 6, 8, 10), (2, 6))
+    return fig16_table(run_fig16(degrees=degrees))
+
+
+@experiment("fig17", "16x user load comparison")
+def fig17() -> str:
+    from repro.experiments.benchmark_traffic import RESULT_HEADERS, run_fig17
+
+    results = run_fig17()
+    return format_table(RESULT_HEADERS, [r.row() for r in results.values()])
+
+
+@experiment("fig18", "need for PFC and correct thresholds")
+def fig18() -> str:
+    from repro.experiments.benchmark_traffic import RESULT_HEADERS, run_fig18
+
+    return format_table(RESULT_HEADERS, [r.row() for r in run_fig18().values()])
+
+
+@experiment("fig19", "queue length: DCQCN vs DCTCP")
+def fig19() -> str:
+    from repro.experiments.latency import QUEUE_HEADERS, run_fig19
+
+    return format_table(QUEUE_HEADERS, [r.row() for r in run_fig19()])
+
+
+@experiment("fig20", "multi-bottleneck marking comparison")
+def fig20() -> str:
+    from repro.experiments.multibottleneck import PARKING_HEADERS, run_fig20
+
+    return format_table(PARKING_HEADERS, [r.row() for r in run_fig20()])
+
+
+@experiment("sec4", "buffer threshold calculations")
+def sec4() -> str:
+    from repro.experiments.buffer_settings import section4_table
+
+    return section4_table()
+
+
+@experiment("sec61", "K:1 incast utilization sweep")
+def sec61() -> str:
+    from repro.experiments.microbench import INCAST_HEADERS, run_incast_sweep
+    from repro.runner import scale
+
+    degrees = scale.pick((2, 4, 8, 16, 19), (2, 4, 8, 16, 19), (2, 4))
+    return format_table(INCAST_HEADERS, [r.row() for r in run_incast_sweep(degrees)])
+
+
+@experiment("sec7", "non-congestion loss sensitivity")
+def sec7() -> str:
+    from repro.experiments.link_errors import LOSS_HEADERS, run_loss_sweep
+
+    return format_table(LOSS_HEADERS, [r.row() for r in run_loss_sweep()])

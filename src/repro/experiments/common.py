@@ -1,45 +1,56 @@
-"""Shared experiment plumbing: scaling, tables, result files."""
+"""Shared experiment plumbing — now thin shims over :mod:`repro.runner`.
+
+The scale/seed policy, table rendering and results directory moved to
+the runner layer (``repro.runner.scale`` / ``repro.runner.results`` /
+``repro.runner.cache``).  The names here are kept as deprecated
+aliases so external callers, examples and older benchmarks keep
+working unchanged.
+"""
 
 from __future__ import annotations
 
-import os
+import warnings
 from pathlib import Path
 from typing import List, Sequence
 
-#: environment variable selecting run scale
-SCALE_ENV = "REPRO_SCALE"
+from repro.runner import cache as _cache
+from repro.runner import scale as _scale
+from repro.runner.results import format_table  # noqa: F401  (re-export)
+
+#: environment variable selecting run scale (re-export)
+SCALE_ENV = _scale.SCALE_ENV
 
 
 def scale() -> str:
-    """``"quick"`` (default) or ``"full"`` — from ``REPRO_SCALE``."""
-    value = os.environ.get(SCALE_ENV, "quick").lower()
-    if value not in ("quick", "full"):
-        raise ValueError(f"{SCALE_ENV} must be 'quick' or 'full', got {value!r}")
-    return value
+    """Deprecated alias for :func:`repro.runner.scale.scale`."""
+    return _scale.scale()
 
 
 def pick(quick_value, full_value):
-    """Choose a knob by run scale."""
-    return full_value if scale() == "full" else quick_value
+    """Deprecated alias for :func:`repro.runner.scale.pick`."""
+    warnings.warn(
+        "repro.experiments.common.pick is deprecated; "
+        "use repro.runner.scale.pick",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _scale.pick(quick_value, full_value)
 
 
-def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
-    """Monospace table matching the style used in EXPERIMENTS.md."""
-    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
-    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
-    lines = []
-    for index, row in enumerate(cells):
-        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
-        if index == 0:
-            lines.append("  ".join("-" * width for width in widths))
-    return "\n".join(lines)
+def seeds_for(repetitions: int, base: int = 1000) -> List[int]:
+    """Deprecated alias for :func:`repro.runner.scale.seeds_for`."""
+    warnings.warn(
+        "repro.experiments.common.seeds_for is deprecated; "
+        "use repro.runner.scale.seeds_for",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _scale.seeds_for(repetitions, base=base)
 
 
 def results_dir() -> Path:
     """Directory where benchmarks drop their regenerated tables."""
-    root = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
-    root.mkdir(parents=True, exist_ok=True)
-    return root
+    return _cache.results_dir()
 
 
 def write_result(name: str, text: str) -> Path:
@@ -55,8 +66,3 @@ def gbps(value_bps: float) -> float:
 
 def fmt_gbps(value_bps: float) -> str:
     return f"{value_bps / 1e9:.2f}"
-
-
-def seeds_for(repetitions: int, base: int = 1000) -> List[int]:
-    """Deterministic, well-spread seeds for repeated runs."""
-    return [base + 7919 * rep for rep in range(repetitions)]

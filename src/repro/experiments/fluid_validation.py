@@ -17,17 +17,16 @@ two-flow microbenchmark:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro import units
 from repro.core.params import DCQCNParams
 from repro.experiments import common
-from repro.fluid.model import FluidParams, simulate
-from repro.sim.monitor import RateSampler
-from repro.sim.switch import SwitchConfig
-from repro.sim.topology import single_switch
+from repro.runner import Cell, execute
+from repro.runner import scale
+from repro.runner.scenario import decode_value, encode_value
 
 
 @dataclass
@@ -65,20 +64,25 @@ class FluidVsSimResult:
         return common.format_table(["t (ms)", "sim Gbps", "fluid Gbps"], rows)
 
 
-def run_fluid_vs_sim(
-    duration_ns: Optional[int] = None,
-    second_start_ns: Optional[int] = None,
-    params: Optional[DCQCNParams] = None,
-    sample_interval_ns: int = units.us(500),
-    seed: int = 7,
-) -> FluidVsSimResult:
-    """Figure 10: overlay packet-sim and fluid-model rate ramps."""
-    duration_ns = duration_ns or common.pick(units.ms(40), units.ms(100))
-    second_start_ns = second_start_ns or units.ms(10)
-    params = params or DCQCNParams.deployed()
+def fluid_vs_sim_cell(
+    duration_ns: int,
+    second_start_ns: int,
+    params: Dict[str, Any],
+    sample_interval_ns: int,
+    seed: int,
+) -> Dict[str, Any]:
+    """Figure 10's packet-sim + fluid-model pair — worker entry point."""
+    from repro.fluid.model import FluidParams, simulate
+    from repro.sim.monitor import RateSampler
+    from repro.sim.switch import SwitchConfig
+    from repro.sim.topology import single_switch
 
+    dcqcn_params = decode_value(params)
     net, _, hosts = single_switch(
-        3, seed=seed, switch_config=SwitchConfig(marking=params), dcqcn_params=params
+        3,
+        seed=seed,
+        switch_config=SwitchConfig(marking=dcqcn_params),
+        dcqcn_params=dcqcn_params,
     )
     receiver = hosts[2]
     first = net.add_flow(hosts[0], receiver, cc="dcqcn")
@@ -90,7 +94,7 @@ def run_fluid_vs_sim(
     sim_times = np.asarray(sampler.times_ns) / 1e9
     sim_rates = np.asarray(sampler.series(second))
 
-    fluid_params = FluidParams.from_dcqcn(params, num_flows=2)
+    fluid_params = FluidParams.from_dcqcn(dcqcn_params, num_flows=2)
     trace = simulate(
         fluid_params,
         duration_s=duration_ns / 1e9,
@@ -98,8 +102,40 @@ def run_fluid_vs_sim(
         start_times_s=np.array([0.0, second_start_ns / 1e9]),
     )
     fluid_rates = np.interp(sim_times, trace.times_s, trace.rc_bps[:, 0, 1])
+    return {
+        "times_s": sim_times.tolist(),
+        "sim_rate_bps": sim_rates.tolist(),
+        "fluid_rate_bps": fluid_rates.tolist(),
+    }
+
+
+def run_fluid_vs_sim(
+    duration_ns: Optional[int] = None,
+    second_start_ns: Optional[int] = None,
+    params: Optional[DCQCNParams] = None,
+    sample_interval_ns: int = units.us(500),
+    seed: int = 7,
+) -> FluidVsSimResult:
+    """Figure 10: overlay packet-sim and fluid-model rate ramps."""
+    duration_ns = duration_ns or scale.pick(
+        units.ms(40), units.ms(100), units.ms(10)
+    )
+    second_start_ns = second_start_ns or units.ms(10)
+    params = params or DCQCNParams.deployed()
+    kwargs = {
+        "duration_ns": duration_ns,
+        "second_start_ns": second_start_ns,
+        "params": encode_value(params),
+        "sample_interval_ns": sample_interval_ns,
+        "seed": seed,
+    }
+    (value,) = execute(
+        [Cell("repro.experiments.fluid_validation:fluid_vs_sim_cell", kwargs)]
+    )
     return FluidVsSimResult(
-        times_s=sim_times, sim_rate_bps=sim_rates, fluid_rate_bps=fluid_rates
+        times_s=np.asarray(value["times_s"]),
+        sim_rate_bps=np.asarray(value["sim_rate_bps"]),
+        fluid_rate_bps=np.asarray(value["fluid_rate_bps"]),
     )
 
 
@@ -139,29 +175,20 @@ class TwoFlowFairnessResult:
     rates_bps: np.ndarray = field(repr=False, default=None)  # (samples, 2)
 
 
-def run_two_flow_validation(
+def two_flow_cell(
     config_name: str,
-    duration_ns: Optional[int] = None,
-    second_start_ns: Optional[int] = None,
-    seed: int = 11,
-    sample_interval_ns: int = units.us(500),
-    second_initial_rate_bps: Optional[float] = units.gbps(5),
-) -> TwoFlowFairnessResult:
-    """One Figure 13 panel: two staggered greedy flows, one switch.
+    duration_ns: int,
+    second_start_ns: int,
+    seed: int,
+    sample_interval_ns: int,
+    second_initial_rate_bps: Optional[float],
+) -> Dict[str, Any]:
+    """One Figure 13 panel — the worker-side entry point."""
+    from repro.sim.monitor import RateSampler
+    from repro.sim.switch import SwitchConfig
+    from repro.sim.topology import single_switch
 
-    The second flow is seeded at 5 Gbps (the §5.2 convergence setup):
-    the testbed's unfairness is seeded by hardware noise that a
-    deterministic simulator does not have, so the asymmetry the
-    configs must (or must not) repair is injected explicitly.
-    """
-    try:
-        params = FIG13_CONFIGS[config_name]
-    except KeyError:
-        raise ValueError(
-            f"unknown config {config_name!r}; choose from {sorted(FIG13_CONFIGS)}"
-        ) from None
-    duration_ns = duration_ns or common.pick(units.ms(60), units.ms(150))
-    second_start_ns = second_start_ns or units.ms(5)
+    params = FIG13_CONFIGS[config_name]
     net, _, hosts = single_switch(
         3, seed=seed, switch_config=SwitchConfig(marking=params), dcqcn_params=params
     )
@@ -178,18 +205,52 @@ def run_two_flow_validation(
     second.set_greedy()
     sampler = RateSampler(net.engine, [first, second], sample_interval_ns)
     net.run_for(duration_ns)
-
     rates = np.stack(
         [np.asarray(sampler.series(first)), np.asarray(sampler.series(second))],
         axis=1,
     )
     times = np.asarray(sampler.times_ns) / 1e9
+    return {"times_s": times.tolist(), "rates_bps": rates.tolist()}
+
+
+_TWO_FLOW_FN = "repro.experiments.fluid_validation:two_flow_cell"
+
+
+def _two_flow_kwargs(
+    config_name: str,
+    duration_ns: Optional[int],
+    second_start_ns: Optional[int],
+    seed: int,
+    sample_interval_ns: int,
+    second_initial_rate_bps: Optional[float],
+) -> Dict[str, Any]:
+    if config_name not in FIG13_CONFIGS:
+        raise ValueError(
+            f"unknown config {config_name!r}; choose from {sorted(FIG13_CONFIGS)}"
+        )
+    duration_ns = duration_ns or scale.pick(
+        units.ms(60), units.ms(150), units.ms(12)
+    )
+    second_start_ns = second_start_ns or units.ms(5)
+    return {
+        "config_name": config_name,
+        "duration_ns": duration_ns,
+        "second_start_ns": second_start_ns,
+        "seed": seed,
+        "sample_interval_ns": sample_interval_ns,
+        "second_initial_rate_bps": second_initial_rate_bps,
+    }
+
+
+def _two_flow_result(value: Dict[str, Any]) -> TwoFlowFairnessResult:
+    times = np.asarray(value["times_s"])
+    rates = np.asarray(value["rates_bps"])
     # steady state: trailing half of the run
     tail = rates[len(rates) // 2 :]
     means = tail.mean(axis=0)
     stds = tail.std(axis=0)
     return TwoFlowFairnessResult(
-        config=config_name,
+        config=value["config_name"],
         mean_rate_gbps=(means[0] / 1e9, means[1] / 1e9),
         rate_gap_gbps=abs(means[0] - means[1]) / 1e9,
         rate_std_gbps=(stds[0] / 1e9, stds[1] / 1e9),
@@ -198,8 +259,46 @@ def run_two_flow_validation(
     )
 
 
+def run_two_flow_validation(
+    config_name: str,
+    duration_ns: Optional[int] = None,
+    second_start_ns: Optional[int] = None,
+    seed: int = 11,
+    sample_interval_ns: int = units.us(500),
+    second_initial_rate_bps: Optional[float] = units.gbps(5),
+) -> TwoFlowFairnessResult:
+    """One Figure 13 panel: two staggered greedy flows, one switch.
+
+    The second flow is seeded at 5 Gbps (the §5.2 convergence setup):
+    the testbed's unfairness is seeded by hardware noise that a
+    deterministic simulator does not have, so the asymmetry the
+    configs must (or must not) repair is injected explicitly.
+    """
+    kwargs = _two_flow_kwargs(
+        config_name, duration_ns, second_start_ns, seed,
+        sample_interval_ns, second_initial_rate_bps,
+    )
+    (value,) = execute([Cell(_TWO_FLOW_FN, kwargs)])
+    value = dict(value, config_name=config_name)
+    return _two_flow_result(value)
+
+
 def run_all_validations(**kwargs) -> Dict[str, TwoFlowFairnessResult]:
-    """All four Figure 13 panels."""
+    """All four Figure 13 panels (fanned out across workers)."""
+    names = list(FIG13_CONFIGS)
+    cells = [
+        Cell(_TWO_FLOW_FN, _two_flow_kwargs(
+            name,
+            kwargs.get("duration_ns"),
+            kwargs.get("second_start_ns"),
+            kwargs.get("seed", 11),
+            kwargs.get("sample_interval_ns", units.us(500)),
+            kwargs.get("second_initial_rate_bps", units.gbps(5)),
+        ))
+        for name in names
+    ]
+    values = execute(cells)
     return {
-        name: run_two_flow_validation(name, **kwargs) for name in FIG13_CONFIGS
+        name: _two_flow_result(dict(value, config_name=name))
+        for name, value in zip(names, values)
     }

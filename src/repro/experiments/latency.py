@@ -14,16 +14,13 @@ the DCQCN one within a factor ~1.5; see EXPERIMENTS.md.)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro import units
 from repro.analysis.stats import percentile
-from repro.baselines.dctcp import add_dctcp_flow
-from repro.core.params import DCQCNParams
 from repro.experiments import common
-from repro.sim.monitor import QueueSampler
-from repro.sim.switch import SwitchConfig
-from repro.sim.topology import single_switch
+from repro.runner import Cell, execute
+from repro.runner import scale
 
 #: DCTCP marking threshold for 40 GbE per the DCTCP sizing guideline.
 DCTCP_MARKING_BYTES = units.kb(160)
@@ -53,21 +50,20 @@ class QueueCdfResult:
 QUEUE_HEADERS = ["protocol", "q50 KB", "q90 KB", "q99 KB", "goodput Gbps"]
 
 
-def run_queue_comparison(
+def queue_cell(
     protocol: str,
-    incast_degree: int = 2,
-    warmup_ns: Optional[int] = None,
-    measure_ns: Optional[int] = None,
-    sample_interval_ns: int = units.us(5),
-    seed: int = 23,
-) -> QueueCdfResult:
-    """One arm of Figure 19 (``protocol`` in {"dcqcn", "dctcp"})."""
-    if protocol not in ("dcqcn", "dctcp"):
-        raise ValueError(f"protocol must be 'dcqcn' or 'dctcp', got {protocol!r}")
-    warmup_ns = warmup_ns if warmup_ns is not None else common.pick(
-        units.ms(15), units.ms(40)
-    )
-    measure_ns = measure_ns or common.pick(units.ms(10), units.ms(40))
+    incast_degree: int,
+    warmup_ns: int,
+    measure_ns: int,
+    sample_interval_ns: int,
+    seed: int,
+) -> Dict[str, Any]:
+    """One arm of Figure 19 — the worker-side entry point."""
+    from repro.baselines.dctcp import add_dctcp_flow
+    from repro.core.params import DCQCNParams
+    from repro.sim.monitor import QueueSampler
+    from repro.sim.switch import SwitchConfig
+    from repro.sim.topology import single_switch
 
     if protocol == "dcqcn":
         marking = DCQCNParams.deployed()
@@ -97,16 +93,66 @@ def run_queue_comparison(
     delivered_before = sum(flow.bytes_delivered for flow in flows)
     net.run_for(measure_ns)
     delivered = sum(flow.bytes_delivered for flow in flows) - delivered_before
-    return QueueCdfResult(
-        protocol=protocol,
-        samples_bytes=list(sampler.samples_bytes),
-        total_goodput_gbps=delivered * 8e9 / measure_ns / 1e9,
+    return {
+        "protocol": protocol,
+        "samples_bytes": list(sampler.samples_bytes),
+        "total_goodput_gbps": delivered * 8e9 / measure_ns / 1e9,
+    }
+
+
+_CELL_FN = "repro.experiments.latency:queue_cell"
+
+
+def _cell_kwargs(
+    protocol: str,
+    incast_degree: int,
+    warmup_ns: Optional[int],
+    measure_ns: Optional[int],
+    sample_interval_ns: int,
+    seed: int,
+) -> Dict[str, Any]:
+    if protocol not in ("dcqcn", "dctcp"):
+        raise ValueError(f"protocol must be 'dcqcn' or 'dctcp', got {protocol!r}")
+    if warmup_ns is None:
+        warmup_ns = scale.pick(units.ms(15), units.ms(40), units.ms(4))
+    measure_ns = measure_ns or scale.pick(units.ms(10), units.ms(40), units.ms(2))
+    return {
+        "protocol": protocol,
+        "incast_degree": incast_degree,
+        "warmup_ns": warmup_ns,
+        "measure_ns": measure_ns,
+        "sample_interval_ns": sample_interval_ns,
+        "seed": seed,
+    }
+
+
+def run_queue_comparison(
+    protocol: str,
+    incast_degree: int = 2,
+    warmup_ns: Optional[int] = None,
+    measure_ns: Optional[int] = None,
+    sample_interval_ns: int = units.us(5),
+    seed: int = 23,
+) -> QueueCdfResult:
+    """One arm of Figure 19 (``protocol`` in {"dcqcn", "dctcp"})."""
+    kwargs = _cell_kwargs(
+        protocol, incast_degree, warmup_ns, measure_ns, sample_interval_ns, seed
     )
+    (value,) = execute([Cell(_CELL_FN, kwargs)])
+    return QueueCdfResult(**value)
 
 
 def run_fig19(**kwargs) -> List[QueueCdfResult]:
-    """Both arms of Figure 19."""
-    return [
-        run_queue_comparison("dcqcn", **kwargs),
-        run_queue_comparison("dctcp", **kwargs),
+    """Both arms of Figure 19 (fanned out across workers)."""
+    cells = [
+        Cell(_CELL_FN, _cell_kwargs(
+            protocol=protocol,
+            incast_degree=kwargs.get("incast_degree", 2),
+            warmup_ns=kwargs.get("warmup_ns"),
+            measure_ns=kwargs.get("measure_ns"),
+            sample_interval_ns=kwargs.get("sample_interval_ns", units.us(5)),
+            seed=kwargs.get("seed", 23),
+        ))
+        for protocol in ("dcqcn", "dctcp")
     ]
+    return [QueueCdfResult(**value) for value in execute(cells)]

@@ -16,12 +16,12 @@ printed alongside, making the go-back-N penalty visible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro import units
 from repro.experiments import common
-from repro.sim.nic import NicConfig
-from repro.sim.topology import single_switch
+from repro.runner import Cell, execute
+from repro.runner import scale
 
 
 @dataclass
@@ -58,14 +58,16 @@ LOSS_HEADERS = [
 ]
 
 
-def run_loss_point(
+def loss_cell(
     loss_rate: float,
-    duration_ns: Optional[int] = None,
-    rto_ns: int = units.ms(1),
-    seed: int = 97,
-) -> LossSweepPoint:
-    """One greedy flow through a lossy access link."""
-    duration_ns = duration_ns or common.pick(units.ms(10), units.ms(30))
+    duration_ns: int,
+    rto_ns: int,
+    seed: int,
+) -> Dict[str, Any]:
+    """One greedy flow through a lossy access link — worker entry point."""
+    from repro.sim.nic import NicConfig
+    from repro.sim.topology import single_switch
+
     net, switch, hosts = single_switch(
         3, seed=seed, nic_config=NicConfig(rto_ns=rto_ns)
     )
@@ -77,18 +79,57 @@ def run_loss_point(
     flow.set_greedy()
     net.run_for(duration_ns)
     goodput = flow.bytes_delivered * 8e9 / duration_ns / 1e9
-    return LossSweepPoint(
-        loss_rate=loss_rate,
-        goodput_gbps=goodput,
-        ideal_selective_gbps=40.0 * (1.0 - loss_rate),
-        retransmitted_packets=flow.retransmitted_packets,
-        rto_fires=sender.nic.rto_fires,
-    )
+    return {
+        "loss_rate": loss_rate,
+        "goodput_gbps": goodput,
+        "ideal_selective_gbps": 40.0 * (1.0 - loss_rate),
+        "retransmitted_packets": flow.retransmitted_packets,
+        "rto_fires": sender.nic.rto_fires,
+    }
+
+
+_CELL_FN = "repro.experiments.link_errors:loss_cell"
+
+
+def _cell_kwargs(
+    loss_rate: float,
+    duration_ns: Optional[int],
+    rto_ns: int,
+    seed: int,
+) -> Dict[str, Any]:
+    duration_ns = duration_ns or scale.pick(units.ms(10), units.ms(30), units.ms(2))
+    return {
+        "loss_rate": loss_rate,
+        "duration_ns": duration_ns,
+        "rto_ns": rto_ns,
+        "seed": seed,
+    }
+
+
+def run_loss_point(
+    loss_rate: float,
+    duration_ns: Optional[int] = None,
+    rto_ns: int = units.ms(1),
+    seed: int = 97,
+) -> LossSweepPoint:
+    """One greedy flow through a lossy access link."""
+    kwargs = _cell_kwargs(loss_rate, duration_ns, rto_ns, seed)
+    (value,) = execute([Cell(_CELL_FN, kwargs)])
+    return LossSweepPoint(**value)
 
 
 def run_loss_sweep(
     loss_rates: Sequence[float] = (0.0, 1e-4, 1e-3, 0.01, 0.05),
     **kwargs,
 ) -> List[LossSweepPoint]:
-    """Goodput vs injected loss rate (the §7 sensitivity)."""
-    return [run_loss_point(rate, **kwargs) for rate in loss_rates]
+    """Goodput vs injected loss rate (the §7 sensitivity), fanned out."""
+    cells = [
+        Cell(_CELL_FN, _cell_kwargs(
+            rate,
+            kwargs.get("duration_ns"),
+            kwargs.get("rto_ns", units.ms(1)),
+            kwargs.get("seed", 97),
+        ))
+        for rate in loss_rates
+    ]
+    return [LossSweepPoint(**value) for value in execute(cells)]

@@ -6,20 +6,21 @@ always more than 39 Gbps for K:1 incast, K = 2..19.  The switch
 counter shows that the queue length never exceeds 100 KB."
 
 We reproduce the sweep: for each K, run K greedy DCQCN flows into one
-receiver, then report aggregate goodput and peak queue.
+receiver, then report aggregate goodput and peak queue.  Each K is an
+independent executor cell, so the sweep fans out across cores.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro import units
 from repro.core.params import DCQCNParams
 from repro.experiments import common
-from repro.sim.monitor import QueueSampler
-from repro.sim.switch import SwitchConfig
-from repro.sim.topology import single_switch
+from repro.runner import Cell, execute
+from repro.runner import scale
+from repro.runner.scenario import decode_value, encode_value
 
 
 @dataclass
@@ -45,28 +46,25 @@ class IncastUtilizationResult:
 INCAST_HEADERS = ["K", "total Gbps", "peak queue KB", "mean queue KB", "PAUSE"]
 
 
-def run_incast_utilization(
+def incast_cell(
     degree: int,
-    params: Optional[DCQCNParams] = None,
-    warmup_ns: Optional[int] = None,
-    measure_ns: Optional[int] = None,
-    sample_interval_ns: int = units.us(10),
-    seed: int = 43,
-) -> IncastUtilizationResult:
-    """One K:1 point of the §6.1 sweep."""
-    if degree < 1:
-        raise ValueError("incast degree must be at least 1")
-    params = params or DCQCNParams.deployed()
-    warmup_ns = warmup_ns if warmup_ns is not None else common.pick(
-        units.ms(20), units.ms(40)
-    )
-    measure_ns = measure_ns or common.pick(units.ms(10), units.ms(30))
+    params: Dict[str, Any],
+    warmup_ns: int,
+    measure_ns: int,
+    sample_interval_ns: int,
+    seed: int,
+) -> Dict[str, Any]:
+    """One K:1 point — the worker-side entry point."""
+    from repro.sim.monitor import QueueSampler
+    from repro.sim.switch import SwitchConfig
+    from repro.sim.topology import single_switch
 
+    dcqcn_params = decode_value(params)
     net, switch, hosts = single_switch(
         degree + 1,
-        switch_config=SwitchConfig(marking=params),
+        switch_config=SwitchConfig(marking=dcqcn_params),
         seed=seed + degree,
-        dcqcn_params=params,
+        dcqcn_params=dcqcn_params,
     )
     receiver = hosts[-1]
     flows = []
@@ -84,17 +82,71 @@ def run_incast_utilization(
     net.run_for(measure_ns)
     delivered = sum(flow.bytes_delivered for flow in flows) - before
     samples = sampler.samples_bytes
-    return IncastUtilizationResult(
-        degree=degree,
-        total_goodput_gbps=delivered * 8e9 / measure_ns / 1e9,
-        peak_queue_kb=max(samples) / 1e3 if samples else 0.0,
-        mean_queue_kb=(sum(samples) / len(samples) / 1e3) if samples else 0.0,
-        pause_frames=switch.pause_frames_sent - pauses_before,
+    return {
+        "degree": degree,
+        "total_goodput_gbps": delivered * 8e9 / measure_ns / 1e9,
+        "peak_queue_kb": max(samples) / 1e3 if samples else 0.0,
+        "mean_queue_kb": (sum(samples) / len(samples) / 1e3) if samples else 0.0,
+        "pause_frames": switch.pause_frames_sent - pauses_before,
+    }
+
+
+_CELL_FN = "repro.experiments.microbench:incast_cell"
+
+
+def _cell_kwargs(
+    degree: int,
+    params: Optional[DCQCNParams],
+    warmup_ns: Optional[int],
+    measure_ns: Optional[int],
+    sample_interval_ns: int,
+    seed: int,
+) -> Dict[str, Any]:
+    if degree < 1:
+        raise ValueError("incast degree must be at least 1")
+    params = params or DCQCNParams.deployed()
+    if warmup_ns is None:
+        warmup_ns = scale.pick(units.ms(20), units.ms(40), units.ms(4))
+    measure_ns = measure_ns or scale.pick(units.ms(10), units.ms(30), units.ms(2))
+    return {
+        "degree": degree,
+        "params": encode_value(params),
+        "warmup_ns": warmup_ns,
+        "measure_ns": measure_ns,
+        "sample_interval_ns": sample_interval_ns,
+        "seed": seed,
+    }
+
+
+def run_incast_utilization(
+    degree: int,
+    params: Optional[DCQCNParams] = None,
+    warmup_ns: Optional[int] = None,
+    measure_ns: Optional[int] = None,
+    sample_interval_ns: int = units.us(10),
+    seed: int = 43,
+) -> IncastUtilizationResult:
+    """One K:1 point of the §6.1 sweep."""
+    kwargs = _cell_kwargs(
+        degree, params, warmup_ns, measure_ns, sample_interval_ns, seed
     )
+    (value,) = execute([Cell(_CELL_FN, kwargs)])
+    return IncastUtilizationResult(**value)
 
 
 def run_incast_sweep(
-    degrees: Sequence[int] = (2, 4, 8, 16, 19), **kwargs
+    degrees: Sequence[int] = (2, 4, 8, 16, 19),
+    params: Optional[DCQCNParams] = None,
+    warmup_ns: Optional[int] = None,
+    measure_ns: Optional[int] = None,
+    sample_interval_ns: int = units.us(10),
+    seed: int = 43,
 ) -> List[IncastUtilizationResult]:
-    """The §6.1 K:1 sweep."""
-    return [run_incast_utilization(degree, **kwargs) for degree in degrees]
+    """The §6.1 K:1 sweep (fanned out across workers)."""
+    cells = [
+        Cell(_CELL_FN, _cell_kwargs(
+            degree, params, warmup_ns, measure_ns, sample_interval_ns, seed
+        ))
+        for degree in degrees
+    ]
+    return [IncastUtilizationResult(**value) for value in execute(cells)]

@@ -12,13 +12,13 @@ window and mitigates (not eliminates) the bias.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro import units
 from repro.core.params import DCQCNParams
 from repro.experiments import common
-from repro.sim.switch import SwitchConfig
-from repro.sim.topology import parking_lot
+from repro.runner import Cell, execute
+from repro.runner import scale
 
 #: the two marking schemes Figure 20(b) compares
 MARKING_SCHEMES = {
@@ -52,24 +52,17 @@ class ParkingLotResult:
 PARKING_HEADERS = ["marking", "f1 Gbps", "f2 Gbps", "f3 Gbps", "f2 / max-min"]
 
 
-def run_parking_lot(
+def parking_cell(
     scheme: str,
-    warmup_ns: Optional[int] = None,
-    measure_ns: Optional[int] = None,
-    seed: int = 31,
-) -> ParkingLotResult:
-    """One marking scheme on the Figure 20 topology."""
-    try:
-        params = MARKING_SCHEMES[scheme]
-    except KeyError:
-        raise ValueError(
-            f"unknown scheme {scheme!r}; choose from {sorted(MARKING_SCHEMES)}"
-        ) from None
-    warmup_ns = warmup_ns if warmup_ns is not None else common.pick(
-        units.ms(25), units.ms(60)
-    )
-    measure_ns = measure_ns or common.pick(units.ms(15), units.ms(40))
+    warmup_ns: int,
+    measure_ns: int,
+    seed: int,
+) -> Dict[str, Any]:
+    """One marking scheme on the Figure 20 topology — worker entry point."""
+    from repro.sim.switch import SwitchConfig
+    from repro.sim.topology import parking_lot
 
+    params = MARKING_SCHEMES[scheme]
     net, hosts = parking_lot(
         switch_config=SwitchConfig(marking=params), seed=seed, dcqcn_params=params
     )
@@ -85,9 +78,54 @@ def run_parking_lot(
         name: (flow.bytes_delivered - b) * 8e9 / measure_ns / 1e9
         for name, flow, b in zip(("f1", "f2", "f3"), (f1, f2, f3), before)
     }
-    return ParkingLotResult(scheme=scheme, flow_gbps=rates)
+    return {"scheme": scheme, "flow_gbps": rates}
+
+
+_CELL_FN = "repro.experiments.multibottleneck:parking_cell"
+
+
+def _cell_kwargs(
+    scheme: str,
+    warmup_ns: Optional[int],
+    measure_ns: Optional[int],
+    seed: int,
+) -> Dict[str, Any]:
+    if scheme not in MARKING_SCHEMES:
+        raise ValueError(
+            f"unknown scheme {scheme!r}; choose from {sorted(MARKING_SCHEMES)}"
+        )
+    if warmup_ns is None:
+        warmup_ns = scale.pick(units.ms(25), units.ms(60), units.ms(5))
+    measure_ns = measure_ns or scale.pick(units.ms(15), units.ms(40), units.ms(2))
+    return {
+        "scheme": scheme,
+        "warmup_ns": warmup_ns,
+        "measure_ns": measure_ns,
+        "seed": seed,
+    }
+
+
+def run_parking_lot(
+    scheme: str,
+    warmup_ns: Optional[int] = None,
+    measure_ns: Optional[int] = None,
+    seed: int = 31,
+) -> ParkingLotResult:
+    """One marking scheme on the Figure 20 topology."""
+    kwargs = _cell_kwargs(scheme, warmup_ns, measure_ns, seed)
+    (value,) = execute([Cell(_CELL_FN, kwargs)])
+    return ParkingLotResult(**value)
 
 
 def run_fig20(**kwargs) -> List[ParkingLotResult]:
-    """Both marking schemes (the Figure 20(b) comparison)."""
-    return [run_parking_lot(scheme, **kwargs) for scheme in ("cutoff", "red")]
+    """Both marking schemes (the Figure 20(b) comparison), fanned out."""
+    cells = [
+        Cell(_CELL_FN, _cell_kwargs(
+            scheme=scheme,
+            warmup_ns=kwargs.get("warmup_ns"),
+            measure_ns=kwargs.get("measure_ns"),
+            seed=kwargs.get("seed", 31),
+        ))
+        for scheme in ("cutoff", "red")
+    ]
+    return [ParkingLotResult(**value) for value in execute(cells)]

@@ -18,7 +18,9 @@ Two scenarios on the 3-tier Clos testbed of Figure 2:
 
 Each repetition reseeds the network so ECMP re-rolls flow placement —
 the paper's run-to-run spread (min/median/max) is exactly this ECMP
-randomness.
+randomness.  Both experiments are expressed as declarative
+:class:`~repro.runner.Scenario` specs, so repetitions fan out across
+cores (``REPRO_JOBS``) and hit the result cache on repeat runs.
 """
 
 from __future__ import annotations
@@ -30,8 +32,12 @@ from repro import units
 from repro.analysis.stats import percentile
 from repro.core.params import DCQCNParams
 from repro.experiments import common
+from repro.runner import FlowSpec, Scenario, run_scenario, run_sweep
+from repro.runner import scale
 from repro.sim.switch import SwitchConfig
-from repro.sim.topology import three_tier_clos
+
+#: the four competing writers of the unfairness scenario
+UNFAIRNESS_HOSTS = ("H1", "H2", "H3", "H4")
 
 
 @dataclass
@@ -63,6 +69,45 @@ class UnfairnessResult:
         )
 
 
+def unfairness_scenario(
+    cc: str = "none",
+    duration_ns: Optional[int] = None,
+    warmup_ns: Optional[int] = None,
+    params: Optional[DCQCNParams] = None,
+    switch_config: Optional[SwitchConfig] = None,
+    mtu_bytes: int = 1000,
+) -> Scenario:
+    """The Figure 3/8 spec: H1..H4 (one per ToR) write to R under T4."""
+    duration_ns = duration_ns or scale.pick(units.ms(10), units.ms(30), units.ms(2))
+    if warmup_ns is None:
+        # DCQCN's additive increase needs ~15 ms to converge after the
+        # initial line-rate burst; measure steady state, as the paper's
+        # long transfers do.
+        warmup_ns = (
+            scale.pick(units.ms(15), units.ms(30), units.ms(3))
+            if cc == "dcqcn"
+            else 0
+        )
+    topology_kwargs: dict = {"hosts_per_tor": 2}
+    if params is not None:
+        topology_kwargs["dcqcn_params"] = params
+    if switch_config is not None:
+        topology_kwargs["switch_config"] = switch_config
+    flows = tuple(
+        FlowSpec(name=f"H{tor + 1}", src=f"{tor}:0", dst="3:1", cc=cc,
+                 mtu_bytes=mtu_bytes)
+        for tor in range(4)
+    )
+    return Scenario(
+        topology="three_tier_clos",
+        flows=flows,
+        warmup_ns=warmup_ns,
+        duration_ns=duration_ns,
+        topology_kwargs=topology_kwargs,
+        label=f"unfairness/{cc}",
+    )
+
+
 def run_unfairness(
     cc: str = "none",
     repetitions: Optional[int] = None,
@@ -73,41 +118,25 @@ def run_unfairness(
     mtu_bytes: int = 1000,
 ) -> UnfairnessResult:
     """Figure 3 (``cc="none"``) / Figure 8 (``cc="dcqcn"``)."""
-    repetitions = repetitions or common.pick(4, 10)
-    duration_ns = duration_ns or common.pick(units.ms(10), units.ms(30))
-    if warmup_ns is None:
-        # DCQCN's additive increase needs ~15 ms to converge after the
-        # initial line-rate burst; measure steady state, as the paper's
-        # long transfers do.
-        warmup_ns = common.pick(units.ms(15), units.ms(30)) if cc == "dcqcn" else 0
-    result = UnfairnessResult(
-        cc=cc, repetitions=repetitions, duration_ms=duration_ns / 1e6
+    repetitions = repetitions or scale.pick(4, 10, 2)
+    scenario = unfairness_scenario(
+        cc=cc,
+        duration_ns=duration_ns,
+        warmup_ns=warmup_ns,
+        params=params,
+        switch_config=switch_config,
+        mtu_bytes=mtu_bytes,
     )
-    sender_names = ["H1", "H2", "H3", "H4"]
-    for name in sender_names:
+    runs = run_scenario(scenario, scale.seeds_for(repetitions))
+    result = UnfairnessResult(
+        cc=cc, repetitions=repetitions, duration_ms=scenario.duration_ns / 1e6
+    )
+    for name in UNFAIRNESS_HOSTS:
         result.throughputs_bps[name] = []
-    for seed in common.seeds_for(repetitions):
-        spec = three_tier_clos(
-            hosts_per_tor=2,
-            seed=seed,
-            dcqcn_params=params,
-            switch_config=switch_config,
-        )
-        receiver = spec.host(3, 1)  # second host under T4
-        senders = [spec.host(tor, 0) for tor in range(4)]  # H1..H4
-        flows = []
-        for sender in senders:
-            flow = spec.net.add_flow(sender, receiver, cc=cc, mtu_bytes=mtu_bytes)
-            flow.set_greedy()
-            flows.append(flow)
-        spec.net.run_for(warmup_ns)
-        baseline = [flow.bytes_delivered for flow in flows]
-        spec.net.run_for(duration_ns)
-        for name, flow, before in zip(sender_names, flows, baseline):
-            result.throughputs_bps[name].append(
-                (flow.bytes_delivered - before) * 8e9 / duration_ns
-            )
-        result.pause_frames.append(spec.net.total_pause_frames_sent())
+    for run in runs:
+        for name in UNFAIRNESS_HOSTS:
+            result.throughputs_bps[name].append(run.flows_bps[name])
+        result.pause_frames.append(int(run.counters["pause_frames"]))
     return result
 
 
@@ -134,6 +163,47 @@ class VictimFlowResult:
         )
 
 
+def victim_scenario(
+    cc: str,
+    t3_senders: int,
+    duration_ns: int,
+    warmup_ns: int,
+    params: Optional[DCQCNParams] = None,
+    switch_config: Optional[SwitchConfig] = None,
+    mtu_bytes: int = 1000,
+) -> Scenario:
+    """The Figure 4/9 spec at one T3 sender count.
+
+    H11-H14 (under T1) plus ``t3_senders`` hosts under T3 incast into
+    R (under T4); the victim VS (under T1) sends to VR (under T2).
+    """
+    incast = [
+        FlowSpec(name=f"H1{i + 1}", src=f"0:{i}", dst="3:0", cc=cc,
+                 mtu_bytes=mtu_bytes)
+        for i in range(4)
+    ]
+    incast += [
+        FlowSpec(name=f"H3{i + 1}", src=f"2:{i}", dst="3:0", cc=cc,
+                 mtu_bytes=mtu_bytes)
+        for i in range(t3_senders)
+    ]
+    victim = FlowSpec(name="victim", src="0:4", dst="1:0", cc=cc,
+                      mtu_bytes=mtu_bytes)
+    topology_kwargs: dict = {"hosts_per_tor": 5}
+    if params is not None:
+        topology_kwargs["dcqcn_params"] = params
+    if switch_config is not None:
+        topology_kwargs["switch_config"] = switch_config
+    return Scenario(
+        topology="three_tier_clos",
+        flows=tuple(incast) + (victim,),
+        warmup_ns=warmup_ns,
+        duration_ns=duration_ns,
+        topology_kwargs=topology_kwargs,
+        label=f"victim/{cc}/{t3_senders}",
+    )
+
+
 def run_victim_flow(
     cc: str = "none",
     t3_sender_counts: Sequence[int] = (0, 1, 2),
@@ -149,39 +219,37 @@ def run_victim_flow(
     VS (under T1) sends to VR (under T2); H11-H14 (under T1) and
     0-2 extra senders under T3 incast into R (under T4).
     """
-    repetitions = repetitions or common.pick(4, 10)
-    duration_ns = duration_ns or common.pick(units.ms(10), units.ms(30))
+    repetitions = repetitions or scale.pick(4, 10, 2)
+    duration_ns = duration_ns or scale.pick(units.ms(10), units.ms(30), units.ms(2))
     if warmup_ns is None:
         # The victim must climb back from the initial all-at-line-rate
         # melee at ~0.7 Gbps/ms (additive increase), so it needs a
         # longer warmup than the symmetric unfairness scenario.
-        warmup_ns = common.pick(units.ms(30), units.ms(60)) if cc == "dcqcn" else 0
+        warmup_ns = (
+            scale.pick(units.ms(30), units.ms(60), units.ms(3))
+            if cc == "dcqcn"
+            else 0
+        )
+    scenarios = {
+        count: victim_scenario(
+            cc=cc,
+            t3_senders=count,
+            duration_ns=duration_ns,
+            warmup_ns=warmup_ns,
+            params=params,
+            switch_config=switch_config,
+            mtu_bytes=mtu_bytes,
+        )
+        for count in t3_sender_counts
+    }
+    seeds = {
+        count: scale.seeds_for(repetitions, base=2000 + 100 * count)
+        for count in t3_sender_counts
+    }
+    sweep = run_sweep("t3_senders", scenarios, seeds)
     result = VictimFlowResult(
         cc=cc, repetitions=repetitions, duration_ms=duration_ns / 1e6
     )
-    for count in t3_sender_counts:
-        result.victim_bps[count] = []
-        for seed in common.seeds_for(repetitions, base=2000 + 100 * count):
-            spec = three_tier_clos(
-                hosts_per_tor=5,
-                seed=seed,
-                dcqcn_params=params,
-                switch_config=switch_config,
-            )
-            receiver = spec.host(3, 0)  # R under T4
-            incast_senders = [spec.host(0, i) for i in range(4)]  # H11-H14
-            incast_senders += [spec.host(2, i) for i in range(count)]  # H31, H32
-            victim_src = spec.host(0, 4)  # VS under T1
-            victim_dst = spec.host(1, 0)  # VR under T2
-            for sender in incast_senders:
-                flow = spec.net.add_flow(sender, receiver, cc=cc, mtu_bytes=mtu_bytes)
-                flow.set_greedy()
-            victim = spec.net.add_flow(victim_src, victim_dst, cc=cc, mtu_bytes=mtu_bytes)
-            victim.set_greedy()
-            spec.net.run_for(warmup_ns)
-            before = victim.bytes_delivered
-            spec.net.run_for(duration_ns)
-            result.victim_bps[count].append(
-                (victim.bytes_delivered - before) * 8e9 / duration_ns
-            )
+    for point in sweep.points:
+        result.victim_bps[point.value] = point.flow_samples("victim")
     return result

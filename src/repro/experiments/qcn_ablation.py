@@ -16,15 +16,13 @@ routing rewrites).  This ablation shows both halves:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro import units
 from repro.analysis.stats import jain_fairness
-from repro.baselines.qcn import QcnSwitch, add_qcn_flow
-from repro.core.params import DCQCNParams
 from repro.experiments import common
-from repro.sim.network import Network
-from repro.sim.switch import SwitchConfig
+from repro.runner import Cell, execute
+from repro.runner import scale
 
 
 @dataclass
@@ -51,6 +49,11 @@ ABLATION_HEADERS = ["scheme", "total Gbps", "Jain", "min Gbps", "max Gbps"]
 
 def _build_single_switch_net(scheme: str, n_hosts: int, seed: int):
     """Like topology.single_switch but with a QCN CP when asked."""
+    from repro.baselines.qcn import QcnSwitch
+    from repro.core.params import DCQCNParams
+    from repro.sim.network import Network
+    from repro.sim.switch import SwitchConfig
+
     params = DCQCNParams.deployed()
     net = Network(seed=seed, dcqcn_params=params)
     config = SwitchConfig(marking=params)
@@ -71,20 +74,16 @@ def _build_single_switch_net(scheme: str, n_hosts: int, seed: int):
     return net, switch, hosts
 
 
-def run_single_switch_fairness(
+def fairness_cell(
     scheme: str,
-    n_senders: int = 4,
-    warmup_ns: Optional[int] = None,
-    measure_ns: Optional[int] = None,
-    seed: int = 61,
-) -> SingleSwitchFairnessResult:
-    """N:1 incast with ``scheme`` in {"none", "qcn", "dcqcn"}."""
-    if scheme not in ("none", "qcn", "dcqcn"):
-        raise ValueError(f"unknown scheme {scheme!r}")
-    warmup_ns = warmup_ns if warmup_ns is not None else common.pick(
-        units.ms(15), units.ms(40)
-    )
-    measure_ns = measure_ns or common.pick(units.ms(10), units.ms(30))
+    n_senders: int,
+    warmup_ns: int,
+    measure_ns: int,
+    seed: int,
+) -> Dict[str, Any]:
+    """One scheme's incast run — the worker-side entry point."""
+    from repro.baselines.qcn import add_qcn_flow
+
     net, _, hosts = _build_single_switch_net(scheme, n_senders + 1, seed)
     receiver = hosts[-1]
     flows = []
@@ -102,17 +101,67 @@ def run_single_switch_fairness(
         (flow.bytes_delivered - b) * 8e9 / measure_ns / 1e9
         for flow, b in zip(flows, before)
     ]
+    return {"scheme": scheme, "per_flow_gbps": rates}
+
+
+_CELL_FN = "repro.experiments.qcn_ablation:fairness_cell"
+
+
+def _cell_kwargs(
+    scheme: str,
+    n_senders: int,
+    warmup_ns: Optional[int],
+    measure_ns: Optional[int],
+    seed: int,
+) -> Dict[str, Any]:
+    if scheme not in ("none", "qcn", "dcqcn"):
+        raise ValueError(f"unknown scheme {scheme!r}")
+    if warmup_ns is None:
+        warmup_ns = scale.pick(units.ms(15), units.ms(40), units.ms(4))
+    measure_ns = measure_ns or scale.pick(units.ms(10), units.ms(30), units.ms(2))
+    return {
+        "scheme": scheme,
+        "n_senders": n_senders,
+        "warmup_ns": warmup_ns,
+        "measure_ns": measure_ns,
+        "seed": seed,
+    }
+
+
+def _from_cell(value: Dict[str, Any]) -> SingleSwitchFairnessResult:
+    rates = list(value["per_flow_gbps"])
     return SingleSwitchFairnessResult(
-        scheme=scheme,
+        scheme=value["scheme"],
         per_flow_gbps=rates,
         fairness=jain_fairness(rates),
         total_gbps=sum(rates),
     )
 
 
+def run_single_switch_fairness(
+    scheme: str,
+    n_senders: int = 4,
+    warmup_ns: Optional[int] = None,
+    measure_ns: Optional[int] = None,
+    seed: int = 61,
+) -> SingleSwitchFairnessResult:
+    """N:1 incast with ``scheme`` in {"none", "qcn", "dcqcn"}."""
+    kwargs = _cell_kwargs(scheme, n_senders, warmup_ns, measure_ns, seed)
+    (value,) = execute([Cell(_CELL_FN, kwargs)])
+    return _from_cell(value)
+
+
 def run_ablation(**kwargs) -> Dict[str, SingleSwitchFairnessResult]:
-    """All three schemes on the single-switch incast."""
-    return {
-        scheme: run_single_switch_fairness(scheme, **kwargs)
-        for scheme in ("none", "qcn", "dcqcn")
-    }
+    """All three schemes on the single-switch incast (fanned out)."""
+    schemes = ("none", "qcn", "dcqcn")
+    cells = [
+        Cell(_CELL_FN, _cell_kwargs(scheme=scheme, **{
+            "n_senders": kwargs.get("n_senders", 4),
+            "warmup_ns": kwargs.get("warmup_ns"),
+            "measure_ns": kwargs.get("measure_ns"),
+            "seed": kwargs.get("seed", 61),
+        }))
+        for scheme in schemes
+    ]
+    values = execute(cells)
+    return {scheme: _from_cell(v) for scheme, v in zip(schemes, values)}

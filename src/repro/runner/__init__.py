@@ -1,0 +1,68 @@
+"""Unified scenario/runner layer for the experiment suite.
+
+The pieces (see DESIGN.md §4):
+
+* :mod:`repro.runner.scale` — run-scale policy (``REPRO_SCALE``:
+  smoke / quick / full) and the deterministic seed schedule.
+* :mod:`repro.runner.executor` — :class:`Cell` fan-out across worker
+  processes (``REPRO_JOBS``), input-order results, serial fallback.
+* :mod:`repro.runner.cache` — content-hash result caching under
+  ``results/.cache/`` (``REPRO_CACHE``).
+* :mod:`repro.runner.scenario` — declarative :class:`Scenario` /
+  :class:`FlowSpec` specs and the generic scenario cell.
+* :mod:`repro.runner.results` — JSON-serializable :class:`RunResult`
+  / :class:`SweepResult` schema and table rendering.
+* :mod:`repro.runner.registry` — the :data:`REGISTRY` of experiments
+  behind ``python -m repro``.
+
+Serial (``jobs=1``) and parallel (``jobs=N``) execution are
+bit-identical: cells are pure functions of (spec, seed), results are
+JSON-normalized either way, and ordering follows the input list, not
+completion order.
+"""
+
+from repro.runner.cache import results_dir
+from repro.runner.executor import (
+    Cell,
+    ExecutionStats,
+    JOBS_ENV,
+    default_jobs,
+    execute,
+)
+from repro.runner.registry import REGISTRY, Experiment, ExperimentRegistry, experiment
+from repro.runner.results import RunResult, SweepPoint, SweepResult, format_table
+from repro.runner.scale import SCALE_ENV, pick, seeds_for
+from repro.runner.scenario import (
+    FlowSpec,
+    Scenario,
+    run_scenario,
+    run_scenario_cell,
+    run_sweep,
+    scenario_cells,
+)
+
+__all__ = [
+    "Cell",
+    "ExecutionStats",
+    "Experiment",
+    "ExperimentRegistry",
+    "FlowSpec",
+    "JOBS_ENV",
+    "REGISTRY",
+    "RunResult",
+    "SCALE_ENV",
+    "Scenario",
+    "SweepPoint",
+    "SweepResult",
+    "default_jobs",
+    "execute",
+    "experiment",
+    "format_table",
+    "pick",
+    "results_dir",
+    "run_scenario",
+    "run_scenario_cell",
+    "run_sweep",
+    "scenario_cells",
+    "seeds_for",
+]

@@ -1,0 +1,110 @@
+"""Content-hash result caching for simulation cells.
+
+A cell is a pure function of its keyword arguments plus the code that
+implements it, so its result can be cached under
+
+    sha256(fn path + canonical-JSON kwargs + source fingerprint)
+
+in ``results/.cache/<key>.json``.  The fingerprint covers every
+``*.py`` file in the ``repro`` package: any code change invalidates
+the whole cache, which keeps cached tables byte-identical to freshly
+computed ones without tracking fine-grained dependencies.
+
+``REPRO_CACHE=off`` disables the cache; ``REPRO_RESULTS_DIR`` moves it
+(together with the benchmark tables it sits beside).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+#: environment variable toggling the result cache ("on"/"off")
+CACHE_ENV = "REPRO_CACHE"
+
+#: environment variable relocating results (and the cache under them)
+RESULTS_ENV = "REPRO_RESULTS_DIR"
+
+#: sentinel distinguishing "no cached value" from a cached ``None``
+MISS = object()
+
+_fingerprint: Optional[str] = None
+
+
+def results_dir() -> Path:
+    """Directory where benchmarks drop their regenerated tables."""
+    root = Path(os.environ.get(RESULTS_ENV, "results"))
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def cache_dir() -> Path:
+    """Directory holding cached cell results."""
+    path = results_dir() / ".cache"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def enabled() -> bool:
+    """Whether caching is active (``REPRO_CACHE`` defaults to on)."""
+    value = os.environ.get(CACHE_ENV, "on").lower()
+    if value not in ("on", "off"):
+        raise ValueError(f"{CACHE_ENV} must be 'on' or 'off', got {value!r}")
+    return value == "on"
+
+
+def code_fingerprint() -> str:
+    """Hash of every ``repro/*.py`` source file, computed once per process."""
+    global _fingerprint
+    if _fingerprint is None:
+        import repro
+
+        digest = hashlib.sha256()
+        package_root = Path(repro.__file__).parent
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _fingerprint = digest.hexdigest()
+    return _fingerprint
+
+
+def cell_key(fn: str, kwargs: Mapping[str, Any]) -> str:
+    """Cache key for one cell: fn path + kwargs + code fingerprint."""
+    payload = json.dumps(
+        {"fn": fn, "kwargs": kwargs, "code": code_fingerprint()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def load(fn: str, kwargs: Mapping[str, Any]) -> Any:
+    """The cached result for a cell, or :data:`MISS`."""
+    path = cache_dir() / f"{cell_key(fn, kwargs)}.json"
+    if not path.exists():
+        return MISS
+    try:
+        return json.loads(path.read_text())["result"]
+    except (json.JSONDecodeError, KeyError, OSError):
+        return MISS  # corrupt or half-written entry: recompute
+
+
+def store(fn: str, kwargs: Mapping[str, Any], result: Any) -> Path:
+    """Persist one cell's result atomically; returns the path written."""
+    path = cache_dir() / f"{cell_key(fn, kwargs)}.json"
+    payload = json.dumps({"fn": fn, "kwargs": kwargs, "result": result})
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return path

@@ -1,0 +1,144 @@
+"""Parallel executor for simulation cells.
+
+A :class:`Cell` names a module-level function (``"pkg.module:fn"``)
+plus JSON-serializable keyword arguments.  :func:`execute` fans a list
+of cells across worker processes (``REPRO_JOBS``), consults the result
+cache first, and always returns results in *input* order regardless of
+completion order — so ``jobs=1`` and ``jobs=N`` produce bit-identical
+output and the serial path stays trivially reproducible.
+
+Results are normalized through a JSON round-trip before being
+returned, so a freshly computed value and a cache hit are exactly the
+same Python object shape (lists, not tuples; plain dicts; floats that
+survived ``repr`` round-tripping).
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Mapping, Optional
+
+from repro.runner import cache as result_cache
+
+#: environment variable selecting worker-process count ("auto" = cores)
+JOBS_ENV = "REPRO_JOBS"
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent unit of simulation work.
+
+    ``fn`` is an import path ``"package.module:function"``; ``kwargs``
+    must be JSON-serializable (they travel to worker processes and
+    into the cache key).
+    """
+
+    fn: str
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ExecutionStats:
+    """What one :func:`execute` call actually did."""
+
+    total: int
+    computed: int
+    cached: int
+    jobs: int
+
+
+#: stats of the most recent :func:`execute` call (for tests/inspection)
+LAST_STATS: Optional[ExecutionStats] = None
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (default 1 = serial)."""
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    if not raw:
+        return 1
+    if raw.lower() == "auto":
+        return os.cpu_count() or 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{JOBS_ENV} must be a positive integer or 'auto', got {raw!r}"
+        ) from None
+    if jobs < 1:
+        raise ValueError(f"{JOBS_ENV} must be >= 1, got {jobs}")
+    return jobs
+
+
+def resolve(fn_path: str):
+    """Import ``"package.module:function"`` and return the function."""
+    module_name, sep, fn_name = fn_path.partition(":")
+    if not sep or not module_name or not fn_name:
+        raise ValueError(
+            f"cell fn must look like 'package.module:function', got {fn_path!r}"
+        )
+    return getattr(importlib.import_module(module_name), fn_name)
+
+
+def call_cell(fn_path: str, kwargs: Mapping[str, Any]) -> Any:
+    """Run one cell (this is what worker processes execute)."""
+    return resolve(fn_path)(**dict(kwargs))
+
+
+def execute(
+    cells: Iterable[Cell],
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+) -> List[Any]:
+    """Run every cell; results come back in input order.
+
+    ``jobs`` / ``cache`` default to the ``REPRO_JOBS`` / ``REPRO_CACHE``
+    environment policy.  Cache hits skip computation entirely; misses
+    are computed (in parallel when ``jobs > 1``) and stored.
+    """
+    global LAST_STATS
+    cells = list(cells)
+    n_jobs = default_jobs() if jobs is None else jobs
+    if n_jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {n_jobs}")
+    use_cache = result_cache.enabled() if cache is None else cache
+
+    results: List[Any] = [None] * len(cells)
+    pending: List[int] = []
+    for index, cell in enumerate(cells):
+        if use_cache:
+            hit = result_cache.load(cell.fn, cell.kwargs)
+            if hit is not result_cache.MISS:
+                results[index] = hit
+                continue
+        pending.append(index)
+
+    if pending:
+        if n_jobs > 1 and len(pending) > 1:
+            workers = min(n_jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(call_cell, cells[i].fn, dict(cells[i].kwargs)): i
+                    for i in pending
+                }
+                for future in as_completed(futures):
+                    results[futures[future]] = future.result()
+        else:
+            for i in pending:
+                results[i] = call_cell(cells[i].fn, cells[i].kwargs)
+        for i in pending:
+            # normalize exactly as a cache round-trip would
+            results[i] = json.loads(json.dumps(results[i]))
+            if use_cache:
+                result_cache.store(cells[i].fn, cells[i].kwargs, results[i])
+
+    LAST_STATS = ExecutionStats(
+        total=len(cells),
+        computed=len(pending),
+        cached=len(cells) - len(pending),
+        jobs=n_jobs,
+    )
+    return results

@@ -1,0 +1,76 @@
+"""The experiment registry: one source of truth for the CLI.
+
+Every reproducible figure/table registers itself (id, description,
+zero-argument runner returning the rendered table) via the
+:func:`experiment` decorator.  ``python -m repro list`` and
+``python -m repro <id>`` both read from :data:`REGISTRY`, and smoke
+tests can iterate it generically instead of naming commands by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment."""
+
+    id: str
+    description: str
+    runner: Callable[[], str]
+
+    def run(self) -> str:
+        return self.runner()
+
+
+class ExperimentRegistry:
+    """Ordered mapping of experiment id -> :class:`Experiment`."""
+
+    def __init__(self) -> None:
+        self._experiments: Dict[str, Experiment] = {}
+
+    def register(self, experiment_id: str, description: str):
+        """Decorator registering a zero-argument runner under ``id``."""
+
+        def decorate(runner: Callable[[], str]) -> Callable[[], str]:
+            if experiment_id in self._experiments:
+                raise ValueError(f"duplicate experiment id {experiment_id!r}")
+            self._experiments[experiment_id] = Experiment(
+                id=experiment_id, description=description, runner=runner
+            )
+            return runner
+
+        return decorate
+
+    def get(self, experiment_id: str) -> Experiment:
+        try:
+            return self._experiments[experiment_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown experiment {experiment_id!r}; "
+                f"known: {', '.join(self.ids())}"
+            ) from None
+
+    def run(self, experiment_id: str) -> str:
+        return self.get(experiment_id).run()
+
+    def ids(self) -> List[str]:
+        return sorted(self._experiments)
+
+    def __iter__(self) -> Iterator[Experiment]:
+        return iter(self._experiments[i] for i in self.ids())
+
+    def __contains__(self, experiment_id: str) -> bool:
+        return experiment_id in self._experiments
+
+    def __len__(self) -> int:
+        return len(self._experiments)
+
+
+#: the process-wide registry (populated by ``repro.experiments.catalog``)
+REGISTRY = ExperimentRegistry()
+
+#: decorator shorthand: ``@experiment("fig03", "PFC unfairness")``
+experiment = REGISTRY.register

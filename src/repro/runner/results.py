@@ -1,0 +1,136 @@
+"""Structured, JSON-serializable experiment results.
+
+:class:`RunResult` is the outcome of one simulation cell (one seed of
+one scenario): per-flow mean throughput over the measurement window
+plus whatever counters/samples the cell recorded.  :class:`SweepResult`
+groups runs along one swept parameter.  Both round-trip through JSON,
+which is what makes the result cache and the process-pool transport
+exact: a cached table is byte-identical to a freshly computed one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Monospace table matching the style used in EXPERIMENTS.md."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+@dataclass
+class RunResult:
+    """One (scenario, seed) cell: throughputs, counters, samples."""
+
+    label: str
+    seed: int
+    warmup_ns: int
+    duration_ns: int
+    #: flow name -> mean throughput over the measurement window (bps)
+    flows_bps: Dict[str, float] = field(default_factory=dict)
+    #: cumulative counters at end of run (PAUSE frames, drops, ...)
+    counters: Dict[str, float] = field(default_factory=dict)
+    #: optional time series (queue samples, rate samples, ...)
+    samples: Dict[str, List[float]] = field(default_factory=dict)
+
+    def throughput_gbps(self, flow: str) -> float:
+        return self.flows_bps[flow] / 1e9
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "seed": self.seed,
+            "warmup_ns": self.warmup_ns,
+            "duration_ns": self.duration_ns,
+            "flows_bps": dict(self.flows_bps),
+            "counters": dict(self.counters),
+            "samples": {k: list(v) for k, v in self.samples.items()},
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "RunResult":
+        return cls(
+            label=data["label"],
+            seed=data["seed"],
+            warmup_ns=data["warmup_ns"],
+            duration_ns=data["duration_ns"],
+            flows_bps=dict(data.get("flows_bps", {})),
+            counters=dict(data.get("counters", {})),
+            samples={k: list(v) for k, v in data.get("samples", {}).items()},
+        )
+
+    def table(self) -> str:
+        rows = [
+            [name, f"{bps / 1e9:.2f}"] for name, bps in sorted(self.flows_bps.items())
+        ]
+        return format_table(["flow", "Gbps"], rows)
+
+
+@dataclass
+class SweepPoint:
+    """All repetitions at one value of the swept parameter."""
+
+    value: Any
+    runs: List[RunResult] = field(default_factory=list)
+
+    def flow_samples(self, flow: str) -> List[float]:
+        """One throughput sample per repetition for ``flow`` (bps)."""
+        return [run.flows_bps[flow] for run in self.runs]
+
+
+@dataclass
+class SweepResult:
+    """Runs grouped along one swept parameter, in sweep order."""
+
+    parameter: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    @property
+    def values(self) -> List[Any]:
+        return [point.value for point in self.points]
+
+    def point(self, value: Any) -> SweepPoint:
+        for candidate in self.points:
+            if candidate.value == value:
+                return candidate
+        raise KeyError(f"no sweep point with value {value!r}")
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "parameter": self.parameter,
+            "points": [
+                {"value": p.value, "runs": [r.to_json() for r in p.runs]}
+                for p in self.points
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "SweepResult":
+        return cls(
+            parameter=data["parameter"],
+            points=[
+                SweepPoint(
+                    value=p["value"],
+                    runs=[RunResult.from_json(r) for r in p["runs"]],
+                )
+                for p in data["points"]
+            ],
+        )
+
+    def table(self, flow: str) -> str:
+        """Default rendering: median throughput of ``flow`` per point."""
+        from repro.analysis.stats import percentile
+
+        rows = [
+            [point.value, f"{percentile(point.flow_samples(flow), 50) / 1e9:.2f}"]
+            for point in self.points
+        ]
+        return format_table([self.parameter, f"{flow} median Gbps"], rows)

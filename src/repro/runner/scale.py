@@ -1,0 +1,53 @@
+"""Run-scale and seed policy (the ``REPRO_SCALE`` knob).
+
+Every experiment sizes its repetitions and simulated durations through
+this module so one environment variable controls the whole suite:
+
+* ``smoke`` — milliseconds-long runs, single repetitions; just enough
+  to exercise every code path (CLI smoke tests, registry iteration).
+* ``quick`` — the default; small but meaningful runs whose tables show
+  the paper's qualitative effects.
+* ``full``  — longer runs and more repetitions, closest to the paper.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+#: environment variable selecting run scale
+SCALE_ENV = "REPRO_SCALE"
+
+#: recognised scales, smallest first
+SCALES = ("smoke", "quick", "full")
+
+_UNSET = object()
+
+
+def scale() -> str:
+    """The active run scale (``"quick"`` unless ``REPRO_SCALE`` says else)."""
+    value = os.environ.get(SCALE_ENV, "quick").lower()
+    if value not in SCALES:
+        raise ValueError(
+            f"{SCALE_ENV} must be one of {', '.join(SCALES)}, got {value!r}"
+        )
+    return value
+
+
+def pick(quick_value, full_value, smoke_value=_UNSET):
+    """Choose a knob by run scale.
+
+    ``smoke_value`` is optional: call sites that predate the smoke
+    scale (or where quick is already tiny) fall back to ``quick_value``.
+    """
+    active = scale()
+    if active == "full":
+        return full_value
+    if active == "smoke" and smoke_value is not _UNSET:
+        return smoke_value
+    return quick_value
+
+
+def seeds_for(repetitions: int, base: int = 1000) -> List[int]:
+    """Deterministic, well-spread seeds for repeated runs."""
+    return [base + 7919 * rep for rep in range(repetitions)]

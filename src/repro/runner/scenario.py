@@ -1,0 +1,287 @@
+"""Declarative experiment scenarios.
+
+A :class:`Scenario` is a pure description of one simulation: which
+topology to build (by registered name), which greedy/paced flows to
+open between which hosts, and how long to warm up and measure.  It
+serializes to a JSON spec, which makes a (scenario, seed) pair a
+:class:`~repro.runner.executor.Cell` — cacheable by content hash and
+shippable to worker processes.
+
+Host locators
+-------------
+``FlowSpec.src``/``dst`` are strings resolved against the built
+topology:
+
+* ``"<tor>:<index>"`` — host ``index`` under ToR ``tor`` on the
+  three-tier Clos (e.g. ``"3:1"`` is the second host under T4);
+* a bare integer — position in the host list of ``single_switch``
+  (negative indices allowed, e.g. ``"-1"`` is the last host);
+* otherwise — the host's name (``"H1"``, ``"R2"``, ...), which works
+  on every topology.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro import units
+from repro.runner.executor import Cell, execute
+from repro.runner.results import RunResult, SweepPoint, SweepResult
+
+#: config dataclasses that may appear in ``topology_kwargs``
+_KIND_KEY = "__kind__"
+
+
+def _config_types() -> Dict[str, type]:
+    from repro.buffers.thresholds import SwitchProfile
+    from repro.core.params import DCQCNParams
+    from repro.sim.nic import NicConfig
+    from repro.sim.switch import SwitchConfig
+
+    return {
+        cls.__name__: cls
+        for cls in (DCQCNParams, SwitchProfile, SwitchConfig, NicConfig)
+    }
+
+
+def encode_value(value: Any) -> Any:
+    """Recursively convert config objects / containers to JSON values."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        if type(value).__name__ not in _config_types():
+            raise TypeError(
+                f"cannot serialize {type(value).__name__} into a scenario spec"
+            )
+        encoded = {_KIND_KEY: type(value).__name__}
+        for fld in dataclasses.fields(value):
+            encoded[fld.name] = encode_value(getattr(value, fld.name))
+        return encoded
+    if isinstance(value, Mapping):
+        return {str(k): encode_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [encode_value(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot serialize {type(value).__name__} into a scenario spec")
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, Mapping):
+        if _KIND_KEY in value:
+            cls = _config_types()[value[_KIND_KEY]]
+            kwargs = {
+                k: decode_value(v) for k, v in value.items() if k != _KIND_KEY
+            }
+            return cls(**kwargs)
+        return {k: decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One flow of a scenario (see module docstring for locators)."""
+
+    name: str
+    src: str
+    dst: str
+    cc: str = "none"
+    mtu_bytes: int = 1000
+    start_ns: int = 0
+    initial_rate_bps: Optional[float] = None
+    greedy: bool = True
+
+
+#: topology name -> builder; extended via :func:`register_topology`
+TOPOLOGIES = ("three_tier_clos", "single_switch", "parking_lot", "dumbbell")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A declarative experiment: topology + flows + timing."""
+
+    topology: str
+    flows: Tuple[FlowSpec, ...]
+    warmup_ns: int = 0
+    duration_ns: int = units.ms(10)
+    topology_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; choose from {TOPOLOGIES}"
+            )
+        if not self.flows:
+            raise ValueError("a scenario needs at least one flow")
+        names = [flow.name for flow in self.flows]
+        if len(set(names)) != len(names):
+            raise ValueError(f"flow names must be unique, got {names}")
+        if self.warmup_ns < 0 or self.duration_ns <= 0:
+            raise ValueError("need warmup_ns >= 0 and duration_ns > 0")
+
+    def spec(self) -> Dict[str, Any]:
+        """The JSON-serializable form (cache key + worker transport)."""
+        return {
+            "topology": self.topology,
+            "label": self.label,
+            "warmup_ns": self.warmup_ns,
+            "duration_ns": self.duration_ns,
+            "topology_kwargs": encode_value(dict(self.topology_kwargs)),
+            "flows": [dataclasses.asdict(flow) for flow in self.flows],
+        }
+
+    @classmethod
+    def from_spec(cls, data: Mapping[str, Any]) -> "Scenario":
+        return cls(
+            topology=data["topology"],
+            label=data.get("label", ""),
+            warmup_ns=data["warmup_ns"],
+            duration_ns=data["duration_ns"],
+            topology_kwargs=decode_value(data.get("topology_kwargs", {})),
+            flows=tuple(FlowSpec(**flow) for flow in data["flows"]),
+        )
+
+
+def _host_by_name(net, name: str):
+    for host in net.hosts:
+        if host.name == name:
+            return host
+    raise KeyError(f"no host named {name!r} in this topology")
+
+
+def build_scenario_network(scenario: Scenario, seed: int):
+    """Build the topology; returns ``(net, resolve, probes)``.
+
+    ``resolve`` maps a locator string to a Host; ``probes`` maps extra
+    counter names to zero-argument callables sampled at end of run.
+    """
+    from repro.sim import topology as topo
+
+    kwargs = dict(scenario.topology_kwargs)
+    if scenario.topology == "three_tier_clos":
+        spec = topo.three_tier_clos(seed=seed, **kwargs)
+
+        def resolve(locator: str):
+            if ":" in locator:
+                tor, index = locator.split(":")
+                return spec.host(int(tor), int(index))
+            return _host_by_name(spec.net, locator)
+
+        return spec.net, resolve, {"spine_rx_pause": spec.spine_pause_frames}
+
+    if scenario.topology == "single_switch":
+        net, _, hosts = topo.single_switch(seed=seed, **kwargs)
+
+        def resolve(locator: str):
+            try:
+                return hosts[int(locator)]
+            except ValueError:
+                return _host_by_name(net, locator)
+
+        return net, resolve, {}
+
+    if scenario.topology == "parking_lot":
+        net, hosts = topo.parking_lot(seed=seed, **kwargs)
+        return net, lambda locator: hosts[locator], {}
+
+    if scenario.topology == "dumbbell":
+        net, _, _ = topo.dumbbell(seed=seed, **kwargs)
+        return net, lambda locator: _host_by_name(net, locator), {}
+
+    raise ValueError(f"unknown topology {scenario.topology!r}")
+
+
+def run_scenario_cell(spec: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """Execute one (scenario, seed) cell — the worker-side entry point."""
+    scenario = Scenario.from_spec(spec)
+    net, resolve, probes = build_scenario_network(scenario, seed)
+    flows = []
+    for flow_spec in scenario.flows:
+        kwargs: Dict[str, Any] = {
+            "cc": flow_spec.cc,
+            "mtu_bytes": flow_spec.mtu_bytes,
+            "start_ns": flow_spec.start_ns,
+        }
+        if flow_spec.initial_rate_bps is not None:
+            kwargs["initial_rate_bps"] = flow_spec.initial_rate_bps
+        flow = net.add_flow(resolve(flow_spec.src), resolve(flow_spec.dst), **kwargs)
+        if flow_spec.greedy:
+            flow.set_greedy()
+        flows.append((flow_spec.name, flow))
+
+    net.run_for(scenario.warmup_ns)
+    before = {name: flow.bytes_delivered for name, flow in flows}
+    net.run_for(scenario.duration_ns)
+
+    flows_bps = {
+        name: (flow.bytes_delivered - before[name]) * 8e9 / scenario.duration_ns
+        for name, flow in flows
+    }
+    counters: Dict[str, float] = {
+        "pause_frames": net.total_pause_frames_sent(),
+        "drops": net.total_drops(),
+    }
+    for name, probe in probes.items():
+        counters[name] = probe()
+    return RunResult(
+        label=scenario.label,
+        seed=seed,
+        warmup_ns=scenario.warmup_ns,
+        duration_ns=scenario.duration_ns,
+        flows_bps=flows_bps,
+        counters=counters,
+    ).to_json()
+
+
+_CELL_FN = "repro.runner.scenario:run_scenario_cell"
+
+
+def scenario_cells(scenario: Scenario, seeds: Sequence[int]) -> List[Cell]:
+    """One executor cell per seed for ``scenario``."""
+    spec = scenario.spec()
+    return [Cell(_CELL_FN, {"spec": spec, "seed": seed}) for seed in seeds]
+
+
+def run_scenario(
+    scenario: Scenario,
+    seeds: Sequence[int],
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+) -> List[RunResult]:
+    """Run ``scenario`` once per seed (parallel/cached per policy)."""
+    values = execute(scenario_cells(scenario, seeds), jobs=jobs, cache=cache)
+    return [RunResult.from_json(value) for value in values]
+
+
+def run_sweep(
+    parameter: str,
+    scenarios: Mapping[Any, Scenario],
+    seeds: Union[Sequence[int], Mapping[Any, Sequence[int]]],
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+) -> SweepResult:
+    """Run one scenario per sweep value, fanning *all* cells at once.
+
+    ``seeds`` is either one seed list shared by every point or a
+    mapping from sweep value to its own seed list.
+    """
+    cells: List[Cell] = []
+    slices: List[Tuple[Any, int]] = []
+    for value, scenario in scenarios.items():
+        point_seeds = seeds[value] if isinstance(seeds, Mapping) else seeds
+        point_cells = scenario_cells(scenario, point_seeds)
+        slices.append((value, len(point_cells)))
+        cells.extend(point_cells)
+
+    values = execute(cells, jobs=jobs, cache=cache)
+    result = SweepResult(parameter=parameter)
+    cursor = 0
+    for value, count in slices:
+        runs = [RunResult.from_json(v) for v in values[cursor : cursor + count]]
+        cursor += count
+        result.points.append(SweepPoint(value=value, runs=runs))
+    return result

@@ -194,6 +194,18 @@ class TestPeriodicTimer:
         with pytest.raises(ValueError):
             PeriodicTimer(EventScheduler(), 100, lambda: None, jitter_ns=100)
 
+    @pytest.mark.parametrize("jitter_ns", [-1, -50, 100, 250])
+    def test_jitter_out_of_range_rejected(self, jitter_ns):
+        with pytest.raises(ValueError, match=r"jitter must be in \[0, period\)"):
+            PeriodicTimer(EventScheduler(), 100, lambda: None, jitter_ns=jitter_ns)
+
+    @pytest.mark.parametrize("jitter_ns", [0, 1, 99])
+    def test_jitter_in_range_accepted(self, jitter_ns):
+        timer = PeriodicTimer(
+            EventScheduler(), 100, lambda: None, jitter_ns=jitter_ns, seed=1
+        )
+        assert timer.period == 100
+
     def test_jitter_deterministic_per_seed(self):
         def run(seed):
             engine = EventScheduler()

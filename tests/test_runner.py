@@ -1,0 +1,294 @@
+"""The unified scenario/runner layer (executor, cache, scenarios, registry)."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import units
+from repro.cli import main
+from repro.core.params import DCQCNParams
+from repro.runner import (
+    Cell,
+    ExperimentRegistry,
+    FlowSpec,
+    REGISTRY,
+    RunResult,
+    Scenario,
+    SweepPoint,
+    SweepResult,
+    execute,
+    run_scenario,
+)
+from repro.runner import cache, executor, scale
+from repro.runner.scenario import decode_value, encode_value
+
+#: a cheap, importable, pure cell function for executor plumbing tests
+SEEDS_FN = "repro.runner.scale:seeds_for"
+
+
+@pytest.fixture
+def isolated_results(tmp_path, monkeypatch):
+    """Point the cache at a fresh directory and clear stale env knobs."""
+    monkeypatch.setenv(cache.RESULTS_ENV, str(tmp_path))
+    monkeypatch.delenv(executor.JOBS_ENV, raising=False)
+    monkeypatch.delenv(cache.CACHE_ENV, raising=False)
+    monkeypatch.delenv(scale.SCALE_ENV, raising=False)
+    return tmp_path
+
+
+class TestScale:
+    def test_smoke_scale(self, monkeypatch):
+        monkeypatch.setenv(scale.SCALE_ENV, "smoke")
+        assert scale.scale() == "smoke"
+        assert scale.pick(1, 2, 3) == 3
+
+    def test_smoke_falls_back_to_quick(self, monkeypatch):
+        monkeypatch.setenv(scale.SCALE_ENV, "smoke")
+        assert scale.pick(1, 2) == 1
+
+    def test_unknown_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv(scale.SCALE_ENV, "enormous")
+        with pytest.raises(ValueError, match="REPRO_SCALE"):
+            scale.scale()
+
+    def test_seeds_are_deterministic_and_distinct(self):
+        seeds = scale.seeds_for(10)
+        assert seeds == scale.seeds_for(10)
+        assert len(set(seeds)) == 10
+        assert scale.seeds_for(3, base=2000)[0] == 2000
+
+
+class TestExecutor:
+    def test_results_in_input_order(self, isolated_results):
+        cells = [
+            Cell(SEEDS_FN, {"repetitions": n, "base": 10 * n}) for n in (3, 1, 2)
+        ]
+        assert execute(cells, jobs=1) == [
+            scale.seeds_for(3, base=30),
+            scale.seeds_for(1, base=10),
+            scale.seeds_for(2, base=20),
+        ]
+
+    def test_parallel_matches_serial(self, isolated_results):
+        cells = [Cell(SEEDS_FN, {"repetitions": n}) for n in range(1, 6)]
+        serial = execute(cells, jobs=1, cache=False)
+        parallel = execute(cells, jobs=4, cache=False)
+        assert serial == parallel
+
+    def test_default_jobs_parsing(self, monkeypatch):
+        monkeypatch.delenv(executor.JOBS_ENV, raising=False)
+        assert executor.default_jobs() == 1
+        monkeypatch.setenv(executor.JOBS_ENV, "3")
+        assert executor.default_jobs() == 3
+        monkeypatch.setenv(executor.JOBS_ENV, "auto")
+        assert executor.default_jobs() == (os.cpu_count() or 1)
+        for bad in ("0", "-2", "many"):
+            monkeypatch.setenv(executor.JOBS_ENV, bad)
+            with pytest.raises(ValueError, match="REPRO_JOBS"):
+                executor.default_jobs()
+
+    def test_bad_fn_path_rejected(self):
+        with pytest.raises(ValueError, match="package.module:function"):
+            executor.resolve("no-colon-here")
+
+    def test_missing_function_propagates(self, isolated_results):
+        with pytest.raises(AttributeError):
+            execute([Cell("repro.runner.scale:no_such_fn", {})])
+
+    def test_stats_account_for_cache_hits(self, isolated_results):
+        cells = [Cell(SEEDS_FN, {"repetitions": n}) for n in (2, 4)]
+        execute(cells)
+        assert executor.LAST_STATS.computed == 2
+        assert executor.LAST_STATS.cached == 0
+        execute(cells)
+        assert executor.LAST_STATS.computed == 0
+        assert executor.LAST_STATS.cached == 2
+        assert executor.LAST_STATS.total == 2
+
+
+class TestCache:
+    def test_round_trip(self, isolated_results):
+        cache.store("m:f", {"a": 1}, {"x": [1.5, 2]})
+        assert cache.load("m:f", {"a": 1}) == {"x": [1.5, 2]}
+        assert cache.load("m:f", {"a": 2}) is cache.MISS
+
+    def test_corrupt_entry_is_a_miss(self, isolated_results):
+        path = cache.store("m:f", {"a": 1}, 42)
+        path.write_text("not json{")
+        assert cache.load("m:f", {"a": 1}) is cache.MISS
+
+    def test_cache_off_recomputes(self, isolated_results, monkeypatch):
+        cells = [Cell(SEEDS_FN, {"repetitions": 2})]
+        execute(cells)
+        monkeypatch.setenv(cache.CACHE_ENV, "off")
+        execute(cells)
+        assert executor.LAST_STATS.computed == 1
+
+    def test_invalid_cache_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(cache.CACHE_ENV, "maybe")
+        with pytest.raises(ValueError, match="REPRO_CACHE"):
+            cache.enabled()
+
+
+class TestScenario:
+    def scenario(self):
+        return Scenario(
+            topology="single_switch",
+            flows=(
+                FlowSpec(name="f1", src="0", dst="-1", cc="dcqcn"),
+                FlowSpec(name="f2", src="1", dst="-1"),
+            ),
+            warmup_ns=units.ms(1),
+            duration_ns=units.ms(2),
+            topology_kwargs={"n_hosts": 3},
+            label="test",
+        )
+
+    def test_spec_round_trips_through_json(self):
+        scenario = self.scenario()
+        spec = json.loads(json.dumps(scenario.spec()))
+        rebuilt = Scenario.from_spec(spec)
+        assert rebuilt.flows == scenario.flows
+        assert rebuilt.duration_ns == scenario.duration_ns
+        assert dict(rebuilt.topology_kwargs) == dict(scenario.topology_kwargs)
+
+    def test_config_objects_encode(self):
+        params = DCQCNParams.deployed()
+        decoded = decode_value(json.loads(json.dumps(encode_value(params))))
+        assert decoded == params
+
+    def test_unencodable_value_rejected(self):
+        with pytest.raises(TypeError):
+            encode_value(object())
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            Scenario(topology="torus", flows=(FlowSpec("f", "0", "1"),))
+        with pytest.raises(ValueError, match="at least one flow"):
+            Scenario(topology="single_switch", flows=())
+        with pytest.raises(ValueError, match="unique"):
+            Scenario(
+                topology="single_switch",
+                flows=(FlowSpec("f", "0", "1"), FlowSpec("f", "1", "2")),
+            )
+
+    def test_run_scenario_returns_run_results(self, isolated_results):
+        runs = run_scenario(self.scenario(), seeds=[1, 2])
+        assert [run.seed for run in runs] == [1, 2]
+        for run in runs:
+            assert set(run.flows_bps) == {"f1", "f2"}
+            assert run.flows_bps["f1"] > 0
+            assert "pause_frames" in run.counters
+        assert "f1" in runs[0].table()
+
+
+class TestResultsSchema:
+    def test_sweep_round_trip(self):
+        sweep = SweepResult(
+            parameter="k",
+            points=[
+                SweepPoint(
+                    value=2,
+                    runs=[
+                        RunResult(
+                            label="x", seed=1, warmup_ns=0, duration_ns=10,
+                            flows_bps={"f": 1e9},
+                        )
+                    ],
+                )
+            ],
+        )
+        rebuilt = SweepResult.from_json(json.loads(json.dumps(sweep.to_json())))
+        assert rebuilt == sweep
+        assert rebuilt.values == [2]
+        assert rebuilt.point(2).flow_samples("f") == [1e9]
+        with pytest.raises(KeyError):
+            rebuilt.point(3)
+
+
+class TestRegistry:
+    def test_duplicate_id_rejected(self):
+        registry = ExperimentRegistry()
+        registry.register("x", "first")(lambda: "a")
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.register("x", "again")(lambda: "b")
+
+    def test_get_unknown_lists_known(self):
+        registry = ExperimentRegistry()
+        registry.register("fig99", "test")(lambda: "t")
+        with pytest.raises(KeyError, match="fig99"):
+            registry.get("nope")
+
+    def test_global_registry_is_populated(self):
+        assert "fig03" in REGISTRY
+        assert "tab14" in REGISTRY
+        assert len(REGISTRY) >= 19
+        ids = [exp.id for exp in REGISTRY]
+        assert ids == sorted(ids)
+
+    def test_commands_compat_view(self):
+        from repro.cli import COMMANDS
+
+        assert set(COMMANDS) == set(REGISTRY.ids())
+        runner, blurb = COMMANDS["tab14"]
+        assert callable(runner) and isinstance(blurb, str)
+
+
+class TestEndToEnd:
+    def test_fig03_identical_serial_and_parallel(
+        self, isolated_results, monkeypatch, capsys
+    ):
+        monkeypatch.setenv(scale.SCALE_ENV, "smoke")
+        monkeypatch.setenv(cache.CACHE_ENV, "off")
+        outputs = []
+        for jobs in ("1", "4"):
+            monkeypatch.setenv(executor.JOBS_ENV, jobs)
+            assert main(["fig03"]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_second_invocation_is_fully_cached(
+        self, isolated_results, monkeypatch, capsys
+    ):
+        monkeypatch.setenv(scale.SCALE_ENV, "smoke")
+        assert main(["fig03"]) == 0
+        first = capsys.readouterr().out
+        assert executor.LAST_STATS.computed > 0
+        assert main(["fig03"]) == 0
+        second = capsys.readouterr().out
+        assert executor.LAST_STATS.computed == 0
+        assert executor.LAST_STATS.cached == executor.LAST_STATS.total > 0
+        assert first == second
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4, reason="speedup measurement needs >= 4 cores"
+)
+def test_parallel_speedup(isolated_results):
+    """REPRO_JOBS=4 must cut wall-clock by >= 2x on 8 independent cells."""
+    scenario = Scenario(
+        topology="single_switch",
+        flows=(
+            FlowSpec(name="f1", src="0", dst="-1", cc="dcqcn"),
+            FlowSpec(name="f2", src="1", dst="-1", cc="dcqcn"),
+        ),
+        duration_ns=units.ms(20),
+        topology_kwargs={"n_hosts": 3},
+        label="speedup",
+    )
+    seeds = scale.seeds_for(8)
+
+    start = time.perf_counter()
+    serial = run_scenario(scenario, seeds, jobs=1, cache=False)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_scenario(scenario, seeds, jobs=4, cache=False)
+    parallel_s = time.perf_counter() - start
+
+    assert serial == parallel
+    assert serial_s / parallel_s >= 2.0, (
+        f"serial {serial_s:.2f}s vs parallel {parallel_s:.2f}s"
+    )
