@@ -7,16 +7,22 @@ and prints the rate trajectory: the late flow starts at line rate
 (DCQCN has no slow start), both get cut by CNPs, and they converge to
 a fair ~20 Gbps each with the queue sitting near Kmin.
 
+The run is traced: every CNP, rate cut and PAUSE frame lands on the
+telemetry bus, and the closing summary comes from the metrics registry
+(see DESIGN.md §8 for the full catalog).
+
 Run:  python examples/quickstart.py
 """
 
 from repro import DCQCNParams, Network, units
 from repro.sim.monitor import QueueSampler, RateSampler
+from repro.telemetry import RingBufferSink, Telemetry, Tracer
 
 
 def main() -> None:
     params = DCQCNParams.deployed()
-    net = Network(seed=1, dcqcn_params=params)
+    telemetry = Telemetry(tracer=Tracer(RingBufferSink(), level="cc"))
+    net = Network(seed=1, dcqcn_params=params, telemetry=telemetry)
     switch = net.new_switch("S1")
     alice = net.new_host("alice")
     bob = net.new_host("bob")
@@ -30,12 +36,19 @@ def main() -> None:
     flow_a.set_greedy()
     flow_b.set_greedy()
 
-    rates = RateSampler(net.engine, [flow_a, flow_b], interval_ns=units.ms(1))
+    horizon = units.ms(40)
+    rates = RateSampler(
+        net.engine, [flow_a, flow_b], interval_ns=units.ms(1), stop_ns=horizon
+    )
     queue = QueueSampler(
-        net.engine, switch, switch.port_to(carol.nic).index, interval_ns=units.us(50)
+        net.engine,
+        switch,
+        switch.port_to(carol.nic).index,
+        interval_ns=units.us(50),
+        stop_ns=horizon,
     )
 
-    net.run_for(units.ms(40))
+    net.run_for(horizon)
 
     print(f"{'t (ms)':>7} {'alice Gbps':>11} {'bob Gbps':>9}")
     for t, ra, rb in zip(
@@ -46,8 +59,18 @@ def main() -> None:
     peak_kb = queue.max_bytes() / 1e3
     print(f"\nbottleneck queue peak: {peak_kb:.1f} KB (Kmin = "
           f"{params.kmin_bytes / 1e3:.0f} KB, Kmax = {params.kmax_bytes / 1e3:.0f} KB)")
-    print(f"PFC PAUSE frames sent by the switch: {switch.pause_frames_sent}")
-    print(f"CNPs received: alice={flow_a.rp.cnps_received}, bob={flow_b.rp.cnps_received}")
+
+    # end-of-run metrics: stable names, same values the trace carries
+    snapshot = net.metrics_snapshot()
+    counters = snapshot["counters"]
+    print(f"PFC PAUSE frames sent by the switch: {counters['pfc.pause_tx']:.0f}")
+    print(f"CNPs generated: {counters['nic.cnp_tx']:.0f} "
+          f"(traced: {counters['trace.np.cnp_tx']:.0f})")
+
+    # the last few control-plane decisions, straight off the trace bus
+    print("\nlast 5 trace events:")
+    for event in list(telemetry.tracer.sink.events)[-5:]:
+        print(f"  {event}")
 
 
 if __name__ == "__main__":

@@ -19,12 +19,22 @@ The package provides:
 * :mod:`repro.hoststack` — the TCP vs RDMA host-overhead model behind
   the paper's motivation figure.
 * :mod:`repro.experiments` — one entry point per paper table/figure.
+* :mod:`repro.telemetry` — structured event tracing, the metrics
+  registry, and the scheduler profiler (DESIGN.md §8).
 """
 
 from repro import units
 from repro.core.params import DCQCNParams
 from repro.sim.network import Network
+from repro.telemetry import Telemetry, TelemetrySpec
 
 __version__ = "1.0.0"
 
-__all__ = ["DCQCNParams", "Network", "units", "__version__"]
+__all__ = [
+    "DCQCNParams",
+    "Network",
+    "Telemetry",
+    "TelemetrySpec",
+    "units",
+    "__version__",
+]

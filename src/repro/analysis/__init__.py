@@ -1,4 +1,4 @@
-"""Statistics helpers used by experiments and benchmarks."""
+"""Statistics and trace-analysis helpers used by experiments and benchmarks."""
 
 from repro.analysis.stats import (
     percentile,
@@ -7,5 +7,25 @@ from repro.analysis.stats import (
     summarize,
     Summary,
 )
+from repro.analysis.trace import (
+    event_counts,
+    pause_counts,
+    queue_cdf,
+    rate_cut_timeline,
+    rate_timeline,
+    read_events,
+)
 
-__all__ = ["percentile", "cdf_points", "jain_fairness", "summarize", "Summary"]
+__all__ = [
+    "percentile",
+    "cdf_points",
+    "jain_fairness",
+    "summarize",
+    "Summary",
+    "event_counts",
+    "pause_counts",
+    "queue_cdf",
+    "rate_cut_timeline",
+    "rate_timeline",
+    "read_events",
+]

@@ -1,0 +1,119 @@
+"""Trace readers: reconstruct paper figures from a JSONL trace.
+
+These helpers turn a trace stream (a file written by the ``jsonl``
+sink, or the in-memory events of a ring sink) back into the
+measurements the paper plots:
+
+* :func:`queue_cdf` — egress-queue length CDF from ``sample.queue``
+  events (Figures 12 and 19);
+* :func:`pause_counts` — PFC PAUSE frames per switch from
+  ``pfc.pause_tx`` events (Figure 15);
+* :func:`rate_timeline` — per-flow goodput over time from
+  ``sample.rate`` events (the throughput timelines behind Figures 3,
+  8, 10 and 13);
+* :func:`rate_cut_timeline` — the RP's rate trajectory from ``rp.cut``
+  / ``rp.increase`` events (every point is a Figure 7 transition).
+
+Every function accepts either a path to a JSONL file or an iterable of
+already-decoded event dicts, so they work identically on a trace file
+and on ``tracer.sink.events`` inside a test.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Tuple, Union
+
+from repro.telemetry import events as ev
+
+#: a trace source: JSONL path or decoded event dicts
+TraceSource = Union[str, Iterable[Mapping[str, Any]]]
+
+
+def read_events(source: TraceSource) -> Iterator[Dict[str, Any]]:
+    """Iterate decoded events from a JSONL path or an event iterable."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+    else:
+        for event in source:
+            yield dict(event)
+
+
+def _select(source: TraceSource, etype: str) -> Iterator[Dict[str, Any]]:
+    for event in read_events(source):
+        if event["ev"] == etype:
+            yield event
+
+
+def queue_cdf(source: TraceSource) -> List[Tuple[float, float]]:
+    """Queue-length CDF (bytes, fraction) from ``sample.queue`` events.
+
+    The Figure 12/19 reconstruction: run a scenario with
+    ``queue_sample_ns`` set, then plot these points.  Requires a
+    ``full``-level trace (samples are high-frequency events).
+    """
+    from repro.analysis.stats import cdf_points
+
+    return cdf_points(
+        [event["queue_bytes"] for event in _select(source, ev.SAMPLE_QUEUE)]
+    )
+
+
+def pause_counts(source: TraceSource) -> Dict[str, int]:
+    """PAUSE frames sent per component from ``pfc.pause_tx`` events.
+
+    The Figure 15 reconstruction: filter the keys to the spine
+    switches and sum.  Works at the ``cc`` trace level.
+    """
+    counts: Dict[str, int] = {}
+    for event in _select(source, ev.PFC_PAUSE_TX):
+        comp = event["comp"]
+        counts[comp] = counts.get(comp, 0) + 1
+    return counts
+
+
+def rate_timeline(
+    source: TraceSource,
+) -> Dict[int, List[Tuple[int, float]]]:
+    """Per-flow ``(t_ns, rate_bps)`` series from ``sample.rate`` events."""
+    series: Dict[int, List[Tuple[int, float]]] = {}
+    for event in _select(source, ev.SAMPLE_RATE):
+        series.setdefault(event["flow"], []).append(
+            (event["t"], event["rate_bps"])
+        )
+    return series
+
+
+def rate_cut_timeline(
+    source: TraceSource,
+) -> Dict[int, List[Tuple[int, str, float]]]:
+    """Per-flow RP transitions: ``(t_ns, kind, rc_bps)`` tuples.
+
+    ``kind`` is ``"cut"`` for Equation-1 rate cuts or the Figure 7
+    phase name (``"fast_recovery"``, ``"additive_increase"``,
+    ``"hyper_increase"``) for increase steps.
+    """
+    series: Dict[int, List[Tuple[int, str, float]]] = {}
+    for event in read_events(source):
+        if event["ev"] == ev.RP_CUT:
+            kind = "cut"
+        elif event["ev"] == ev.RP_INCREASE:
+            kind = event["phase"]
+        else:
+            continue
+        series.setdefault(event["flow"], []).append(
+            (event["t"], kind, event["rc_bps"])
+        )
+    return series
+
+
+def event_counts(source: TraceSource) -> Dict[str, int]:
+    """Events per type — quick orientation on an unfamiliar trace."""
+    counts: Dict[str, int] = {}
+    for event in read_events(source):
+        counts[event["ev"]] = counts.get(event["ev"], 0) + 1
+    return counts

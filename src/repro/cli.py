@@ -9,6 +9,14 @@ Usage::
     python -m repro fig16 --jobs 4       # fan repetitions across 4 cores
     python -m repro sec4                 # §4 buffer-threshold table
 
+Telemetry commands (see DESIGN.md §8)::
+
+    python -m repro scenarios                      # named scenarios
+    python -m repro trace smoke                    # JSONL trace on stdout
+    python -m repro trace smoke --out t.jsonl      # ... or to a file
+    python -m repro trace victim --level cc        # control-plane only
+    python -m repro profile unfairness             # hotspot table
+
 Each command prints the same rows the corresponding benchmark emits.
 The dispatch table is :data:`repro.runner.REGISTRY`, populated by
 :mod:`repro.experiments.catalog`; ``--jobs`` / ``--no-cache`` set the
@@ -18,12 +26,13 @@ The dispatch table is :data:`repro.runner.REGISTRY`, populated by
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 from typing import Dict, Optional, Sequence
 
 import repro.experiments.catalog  # noqa: F401  (populates REGISTRY)
-from repro.runner import JOBS_ENV, REGISTRY, SCALE_ENV, format_table
+from repro.runner import JOBS_ENV, REGISTRY, SCALE_ENV, SCENARIOS, format_table
 from repro.runner.cache import CACHE_ENV
 from repro.runner.scale import SCALES
 
@@ -86,7 +95,156 @@ def list_experiments() -> str:
     return format_table(["experiment", "regenerates"], rows)
 
 
+def list_scenarios() -> str:
+    rows = [[sc.id, sc.description] for sc in SCENARIOS]
+    return format_table(["scenario", "description"], rows)
+
+
+def _telemetry_parser(prog: str, description: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog=prog, description=description)
+    parser.add_argument(
+        "scenario", help="named scenario (see 'python -m repro scenarios')"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument(
+        "--scale",
+        choices=SCALES,
+        default=None,
+        help="override REPRO_SCALE for this invocation",
+    )
+    return parser
+
+
+def _build_named_scenario(scenario_id: str):
+    """Resolve a scenario id; prints the error and returns None if unknown."""
+    if scenario_id not in SCENARIOS:
+        print(
+            f"unknown scenario {scenario_id!r}; try 'scenarios'",
+            file=sys.stderr,
+        )
+        return None
+    return SCENARIOS.build(scenario_id)
+
+
+def trace_main(argv: Sequence[str]) -> int:
+    """``python -m repro trace <scenario>`` — run once, emit the trace.
+
+    Without ``--out`` the JSONL stream goes to stdout (pipe it to
+    ``jq``/``repro.analysis.trace``); a per-type summary goes to
+    stderr.  With ``--out`` the stream goes to the file and the summary
+    to stdout.
+    """
+    parser = _telemetry_parser(
+        "repro trace", "Run one scenario repetition with tracing on."
+    )
+    parser.add_argument(
+        "--level",
+        choices=("cc", "full"),
+        default="full",
+        help="trace verbosity (cc: control-plane decisions only)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write JSONL here instead of stdout"
+    )
+    parser.add_argument(
+        "--stride",
+        type=int,
+        default=1,
+        help="keep 1-in-N of the high-frequency event types",
+    )
+    parser.add_argument(
+        "--queue-sample-ns",
+        type=int,
+        default=None,
+        help="sample every switch egress queue at this period",
+    )
+    parser.add_argument(
+        "--rate-sample-ns",
+        type=int,
+        default=None,
+        help="sample per-flow goodput at this period",
+    )
+    args = parser.parse_args(argv)
+    if args.scale is not None:
+        os.environ[SCALE_ENV] = args.scale
+    scenario = _build_named_scenario(args.scenario)
+    if scenario is None:
+        return 2
+
+    import json
+
+    from repro.runner import run_scenario_inline
+    from repro.telemetry import Telemetry, TelemetrySpec
+
+    spec = TelemetrySpec(
+        trace=args.level,
+        sink="jsonl" if args.out else "ring",
+        path=args.out,
+        sample_stride=args.stride,
+        queue_sample_ns=args.queue_sample_ns,
+        rate_sample_ns=args.rate_sample_ns,
+    )
+    scenario = dataclasses.replace(scenario, telemetry=spec)
+    telemetry = Telemetry.from_spec(spec, seed=args.seed)
+    result, _ = run_scenario_inline(scenario, args.seed, telemetry=telemetry)
+    telemetry.close()
+
+    counts = sorted(telemetry.trace_counts().items())
+    summary_rows = [[etype, count] for etype, count in counts]
+    summary = format_table(["event type", "count"], summary_rows)
+    total = sum(count for _, count in counts)
+    if args.out:
+        print(f"wrote {total} events to {args.out}")
+        print(summary)
+        print(result.table())
+    else:
+        for event in telemetry.tracer.sink.events:
+            print(json.dumps(event, sort_keys=True))
+        print(summary, file=sys.stderr)
+    return 0
+
+
+def profile_main(argv: Sequence[str]) -> int:
+    """``python -m repro profile <scenario>`` — per-site hotspot table."""
+    parser = _telemetry_parser(
+        "repro profile",
+        "Run one scenario repetition under the scheduler profiler.",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=15, help="rows in the hotspot table"
+    )
+    args = parser.parse_args(argv)
+    if args.scale is not None:
+        os.environ[SCALE_ENV] = args.scale
+    scenario = _build_named_scenario(args.scenario)
+    if scenario is None:
+        return 2
+
+    from repro.runner import run_scenario_inline
+    from repro.telemetry import SchedulerProfiler
+
+    profiler = SchedulerProfiler()
+    result, _ = run_scenario_inline(scenario, args.seed, profiler=profiler)
+    print(f"=== profile: {scenario.label or args.scenario} ===")
+    print(profiler.table(limit=args.limit))
+    print()
+    print(result.table())
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # telemetry commands take their own options, so they dispatch before
+    # the experiment parser (whose grammar is a bare positional id)
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return profile_main(argv[1:])
+    if argv and argv[0] == "scenarios":
+        print(list_scenarios())
+        return 0
     args = build_parser().parse_args(argv)
     if args.scale is not None:
         os.environ[SCALE_ENV] = args.scale

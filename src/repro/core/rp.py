@@ -71,6 +71,8 @@ class ReactionPoint:
         line_rate_bps: float,
         on_rate_change: Optional[Callable[[float], None]] = None,
         timer_seed: Optional[int] = None,
+        flow_id: int = -1,
+        component: str = "rp",
     ):
         if line_rate_bps <= 0:
             raise ValueError("line_rate_bps must be positive")
@@ -78,6 +80,11 @@ class ReactionPoint:
         self.params = params
         self.line_rate_bps = line_rate_bps
         self.on_rate_change = on_rate_change
+        #: telemetry identity + bus (tracer is attached by the Network;
+        #: None keeps the emit sites to a single identity test)
+        self.flow_id = flow_id
+        self.component = component
+        self.tracer = None
 
         self.rc_bps = line_rate_bps  # current rate
         self.rt_bps = line_rate_bps  # target rate
@@ -186,6 +193,16 @@ class ReactionPoint:
         self.timer_count = 0
         self._bytes_toward_event = 0
         self._increase_timer.reset()
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.engine.now,
+                "rp.cut",
+                self.component,
+                flow=self.flow_id,
+                rc_bps=self.rc_bps,
+                rt_bps=self.rt_bps,
+                alpha=self._alpha,
+            )
         self._notify_rate()
 
     def on_bytes_sent(self, nbytes: int) -> None:
@@ -224,6 +241,16 @@ class ReactionPoint:
         self.rc_bps = (self.rt_bps + self.rc_bps) / 2.0
         if self.line_rate_bps - self.rc_bps <= _LINE_RATE_SNAP * self.line_rate_bps:
             self.rc_bps = self.line_rate_bps
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.engine.now,
+                "rp.increase",
+                self.component,
+                flow=self.flow_id,
+                phase=phase.value,
+                rc_bps=self.rc_bps,
+                rt_bps=self.rt_bps,
+            )
         if not self.active:
             # Fully recovered: hardware releases the rate limiter; we
             # stop generating timer events until the next CNP.

@@ -64,6 +64,10 @@ class EventScheduler:
         self._now: int = 0
         self._seq: int = 0
         self.events_processed: int = 0
+        #: optional :class:`repro.telemetry.profiler.SchedulerProfiler`.
+        #: Checked once per run()/run_until() call, never per event, so
+        #: the unprofiled hot loop is unchanged.
+        self.profiler = None
 
     @property
     def now(self) -> int:
@@ -112,7 +116,10 @@ class EventScheduler:
                 continue
             self._now = entry[_TIME]
             self.events_processed += 1
-            fn(*entry[_ARGS])
+            if self.profiler is not None:
+                self.profiler.record(fn, entry[_ARGS])
+            else:
+                fn(*entry[_ARGS])
             return True
         return False
 
@@ -132,6 +139,9 @@ class EventScheduler:
         clock is advanced to ``time`` even if the heap drains early, so
         rate computations over the window stay well-defined.
         """
+        if self.profiler is not None:
+            self._run_until_profiled(time)
+            return
         heap = self._heap
         pop = heapq.heappop
         processed = 0
@@ -146,6 +156,27 @@ class EventScheduler:
             self._now = entry[_TIME]
             processed += 1
             fn(*entry[_ARGS])
+        self.events_processed += processed
+        if time > self._now:
+            self._now = time
+
+    def _run_until_profiled(self, time: int) -> None:
+        """The :meth:`run_until` loop with per-event profiling."""
+        heap = self._heap
+        pop = heapq.heappop
+        record = self.profiler.record
+        processed = 0
+        while heap:
+            entry = heap[0]
+            if entry[_TIME] > time:
+                break
+            pop(heap)
+            fn = entry[_FN]
+            if fn is None:
+                continue
+            self._now = entry[_TIME]
+            processed += 1
+            record(fn, entry[_ARGS])
         self.events_processed += processed
         if time > self._now:
             self._now = time

@@ -1,7 +1,9 @@
 """The experiment catalog: every reproducible figure/table, registered.
 
 Importing this module populates :data:`repro.runner.REGISTRY` with one
-entry per paper artifact.  Each runner is a zero-argument callable
+entry per paper artifact, plus :data:`repro.runner.SCENARIOS` with the
+named scenarios the telemetry commands (``python -m repro trace`` /
+``profile``) operate on.  Each runner is a zero-argument callable
 returning the rendered table; heavyweight imports stay inside the
 runners so ``python -m repro list`` stays fast.
 """
@@ -9,6 +11,7 @@ runners so ``python -m repro list`` stays fast.
 from __future__ import annotations
 
 from repro.runner import experiment
+from repro.runner.registry import scenario
 from repro.runner.results import format_table
 
 
@@ -197,3 +200,56 @@ def sec7() -> str:
     from repro.experiments.link_errors import LOSS_HEADERS, run_loss_sweep
 
     return format_table(LOSS_HEADERS, [r.row() for r in run_loss_sweep()])
+
+
+@experiment("microbench", "K:1 incast utilization sweep (alias of sec61)")
+def microbench() -> str:
+    return sec61()
+
+
+# --- named scenarios (python -m repro trace/profile <id>) ------------------
+
+
+@scenario("smoke", "2-to-1 DCQCN incast on one switch (2 ms)")
+def smoke_scenario():
+    from repro import units
+    from repro.runner import FlowSpec, Scenario
+
+    return Scenario(
+        topology="single_switch",
+        topology_kwargs={"n_hosts": 3},
+        flows=(
+            FlowSpec(name="f0", src="0", dst="2", cc="dcqcn"),
+            FlowSpec(name="f1", src="1", dst="2", cc="dcqcn"),
+        ),
+        duration_ns=units.ms(2),
+        label="smoke",
+    )
+
+
+@scenario("unfairness", "Figure 3: PFC parking-lot unfairness, no CC")
+def unfairness_pfc_scenario():
+    from repro.experiments.pfc_pathologies import unfairness_scenario
+
+    return unfairness_scenario("none")
+
+
+@scenario("unfairness-dcqcn", "Figure 8: the unfairness scenario with DCQCN")
+def unfairness_dcqcn_scenario():
+    from repro.experiments.pfc_pathologies import unfairness_scenario
+
+    return unfairness_scenario("dcqcn")
+
+
+@scenario("victim", "Figure 4: PFC victim flow (2 extra T3 senders)")
+def victim_flow_scenario():
+    from repro import units
+    from repro.experiments.pfc_pathologies import victim_scenario
+    from repro.runner import scale
+
+    return victim_scenario(
+        "none",
+        t3_senders=2,
+        duration_ns=scale.pick(units.ms(10), units.ms(30), units.ms(2)),
+        warmup_ns=0,
+    )

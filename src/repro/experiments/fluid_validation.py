@@ -89,7 +89,9 @@ def fluid_vs_sim_cell(
     second = net.add_flow(hosts[1], receiver, cc="dcqcn", start_ns=second_start_ns)
     first.set_greedy()
     second.set_greedy()
-    sampler = RateSampler(net.engine, [first, second], sample_interval_ns)
+    sampler = RateSampler(
+        net.engine, [first, second], sample_interval_ns, stop_ns=duration_ns
+    )
     net.run_for(duration_ns)
     sim_times = np.asarray(sampler.times_ns) / 1e9
     sim_rates = np.asarray(sampler.series(second))
@@ -203,7 +205,9 @@ def two_flow_cell(
     )
     first.set_greedy()
     second.set_greedy()
-    sampler = RateSampler(net.engine, [first, second], sample_interval_ns)
+    sampler = RateSampler(
+        net.engine, [first, second], sample_interval_ns, stop_ns=duration_ns
+    )
     net.run_for(duration_ns)
     rates = np.stack(
         [np.asarray(sampler.series(first)), np.asarray(sampler.series(second))],

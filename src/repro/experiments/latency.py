@@ -88,7 +88,11 @@ def queue_cell(
     net.run_for(warmup_ns)
     bottleneck_port = switch.port_to(receiver.nic).index
     sampler = QueueSampler(
-        net.engine, switch, bottleneck_port, interval_ns=sample_interval_ns
+        net.engine,
+        switch,
+        bottleneck_port,
+        interval_ns=sample_interval_ns,
+        stop_ns=net.engine.now + measure_ns,
     )
     delivered_before = sum(flow.bytes_delivered for flow in flows)
     net.run_for(measure_ns)

@@ -74,7 +74,13 @@ def incast_cell(
         flows.append(flow)
     net.run_for(warmup_ns)
     port_index = switch.port_to(receiver.nic).index
-    sampler = QueueSampler(net.engine, switch, port_index, interval_ns=sample_interval_ns)
+    sampler = QueueSampler(
+        net.engine,
+        switch,
+        port_index,
+        interval_ns=sample_interval_ns,
+        stop_ns=net.engine.now + measure_ns,
+    )
     before = sum(flow.bytes_delivered for flow in flows)
     # PAUSE frames during the line-rate start melee are expected (the
     # paper relies on PFC there); steady state is what §6.1 claims.

@@ -136,7 +136,7 @@ def run_unfairness(
     for run in runs:
         for name in UNFAIRNESS_HOSTS:
             result.throughputs_bps[name].append(run.flows_bps[name])
-        result.pause_frames.append(int(run.counters["pause_frames"]))
+        result.pause_frames.append(int(run.metric("pfc.pause_tx")))
     return result
 
 

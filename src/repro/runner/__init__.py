@@ -29,7 +29,15 @@ from repro.runner.executor import (
     default_jobs,
     execute,
 )
-from repro.runner.registry import REGISTRY, Experiment, ExperimentRegistry, experiment
+from repro.runner.registry import (
+    REGISTRY,
+    SCENARIOS,
+    Experiment,
+    ExperimentRegistry,
+    NamedScenario,
+    ScenarioRegistry,
+    experiment,
+)
 from repro.runner.results import RunResult, SweepPoint, SweepResult, format_table
 from repro.runner.scale import SCALE_ENV, pick, seeds_for
 from repro.runner.scenario import (
@@ -37,6 +45,7 @@ from repro.runner.scenario import (
     Scenario,
     run_scenario,
     run_scenario_cell,
+    run_scenario_inline,
     run_sweep,
     scenario_cells,
 )
@@ -48,10 +57,13 @@ __all__ = [
     "ExperimentRegistry",
     "FlowSpec",
     "JOBS_ENV",
+    "NamedScenario",
     "REGISTRY",
     "RunResult",
     "SCALE_ENV",
+    "SCENARIOS",
     "Scenario",
+    "ScenarioRegistry",
     "SweepPoint",
     "SweepResult",
     "default_jobs",
@@ -62,6 +74,7 @@ __all__ = [
     "results_dir",
     "run_scenario",
     "run_scenario_cell",
+    "run_scenario_inline",
     "run_sweep",
     "scenario_cells",
     "seeds_for",

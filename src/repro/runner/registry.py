@@ -1,16 +1,22 @@
-"""The experiment registry: one source of truth for the CLI.
+"""The experiment and scenario registries: one source of truth for the CLI.
 
 Every reproducible figure/table registers itself (id, description,
 zero-argument runner returning the rendered table) via the
 :func:`experiment` decorator.  ``python -m repro list`` and
 ``python -m repro <id>`` both read from :data:`REGISTRY`, and smoke
 tests can iterate it generically instead of naming commands by hand.
+
+:data:`SCENARIOS` is the sibling registry of *named scenarios* —
+declarative :class:`~repro.runner.scenario.Scenario` factories the
+telemetry commands (``python -m repro trace <name>`` /
+``profile <name>``) operate on.  Factories, not instances, so a
+scenario may consult the scale policy at build time.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List
+from typing import Any, Callable, Dict, Iterator, List
 
 
 @dataclass(frozen=True)
@@ -69,8 +75,71 @@ class ExperimentRegistry:
         return len(self._experiments)
 
 
+@dataclass(frozen=True)
+class NamedScenario:
+    """One registered scenario factory."""
+
+    id: str
+    description: str
+    factory: Callable[[], Any]
+
+    def build(self):
+        """Construct the :class:`~repro.runner.scenario.Scenario`."""
+        return self.factory()
+
+
+class ScenarioRegistry:
+    """Ordered mapping of scenario id -> :class:`NamedScenario`."""
+
+    def __init__(self) -> None:
+        self._scenarios: Dict[str, NamedScenario] = {}
+
+    def register(self, scenario_id: str, description: str):
+        """Decorator registering a zero-argument Scenario factory."""
+
+        def decorate(factory: Callable[[], Any]) -> Callable[[], Any]:
+            if scenario_id in self._scenarios:
+                raise ValueError(f"duplicate scenario id {scenario_id!r}")
+            self._scenarios[scenario_id] = NamedScenario(
+                id=scenario_id, description=description, factory=factory
+            )
+            return factory
+
+        return decorate
+
+    def get(self, scenario_id: str) -> NamedScenario:
+        try:
+            return self._scenarios[scenario_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown scenario {scenario_id!r}; "
+                f"known: {', '.join(self.ids())}"
+            ) from None
+
+    def build(self, scenario_id: str):
+        return self.get(scenario_id).build()
+
+    def ids(self) -> List[str]:
+        return sorted(self._scenarios)
+
+    def __iter__(self) -> Iterator[NamedScenario]:
+        return iter(self._scenarios[i] for i in self.ids())
+
+    def __contains__(self, scenario_id: str) -> bool:
+        return scenario_id in self._scenarios
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+
 #: the process-wide registry (populated by ``repro.experiments.catalog``)
 REGISTRY = ExperimentRegistry()
 
 #: decorator shorthand: ``@experiment("fig03", "PFC unfairness")``
 experiment = REGISTRY.register
+
+#: named scenarios for the telemetry commands (also in the catalog)
+SCENARIOS = ScenarioRegistry()
+
+#: decorator shorthand: ``@scenario("smoke", "2-to-1 incast ...")``
+scenario = SCENARIOS.register

@@ -40,9 +40,31 @@ class RunResult:
     counters: Dict[str, float] = field(default_factory=dict)
     #: optional time series (queue samples, rate samples, ...)
     samples: Dict[str, List[float]] = field(default_factory=dict)
+    #: metrics registry snapshot ({"counters": ..., "gauges": ...,
+    #: "histograms": ...}) under the stable names of
+    #: :data:`repro.telemetry.metrics.METRIC_CATALOG`
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     def throughput_gbps(self, flow: str) -> float:
         return self.flows_bps[flow] / 1e9
+
+    def metric(self, name: str) -> float:
+        """Value of counter/gauge ``name`` from the metrics snapshot."""
+        for kind in ("counters", "gauges"):
+            values = self.metrics.get(kind, {})
+            if name in values:
+                return values[name]
+        raise KeyError(f"no metric {name!r} in this result")
+
+    def histogram(self, name: str):
+        """Rehydrate histogram ``name`` from the metrics snapshot."""
+        from repro.telemetry.metrics import Histogram
+
+        try:
+            data = self.metrics["histograms"][name]
+        except KeyError:
+            raise KeyError(f"no histogram {name!r} in this result") from None
+        return Histogram.from_json(name, data)
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -53,6 +75,7 @@ class RunResult:
             "flows_bps": dict(self.flows_bps),
             "counters": dict(self.counters),
             "samples": {k: list(v) for k, v in self.samples.items()},
+            "metrics": self.metrics,
         }
 
     @classmethod
@@ -65,6 +88,7 @@ class RunResult:
             flows_bps=dict(data.get("flows_bps", {})),
             counters=dict(data.get("counters", {})),
             samples={k: list(v) for k, v in data.get("samples", {}).items()},
+            metrics=data.get("metrics", {}),
         )
 
     def table(self) -> str:

@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro import units
 from repro.runner.executor import Cell, execute
 from repro.runner.results import RunResult, SweepPoint, SweepResult
+from repro.telemetry import Telemetry, TelemetrySpec
 
 #: config dataclasses that may appear in ``topology_kwargs``
 _KIND_KEY = "__kind__"
@@ -42,7 +43,13 @@ def _config_types() -> Dict[str, type]:
 
     return {
         cls.__name__: cls
-        for cls in (DCQCNParams, SwitchProfile, SwitchConfig, NicConfig)
+        for cls in (
+            DCQCNParams,
+            SwitchProfile,
+            SwitchConfig,
+            NicConfig,
+            TelemetrySpec,
+        )
     }
 
 
@@ -109,6 +116,9 @@ class Scenario:
     duration_ns: int = units.ms(10)
     topology_kwargs: Mapping[str, Any] = field(default_factory=dict)
     label: str = ""
+    #: optional telemetry request (trace level, sink, samplers); None
+    #: means metrics-only — tracing off, no run-time samplers
+    telemetry: Optional[TelemetrySpec] = None
 
     def __post_init__(self) -> None:
         if self.topology not in TOPOLOGIES:
@@ -132,6 +142,7 @@ class Scenario:
             "duration_ns": self.duration_ns,
             "topology_kwargs": encode_value(dict(self.topology_kwargs)),
             "flows": [dataclasses.asdict(flow) for flow in self.flows],
+            "telemetry": encode_value(self.telemetry),
         }
 
     @classmethod
@@ -143,6 +154,7 @@ class Scenario:
             duration_ns=data["duration_ns"],
             topology_kwargs=decode_value(data.get("topology_kwargs", {})),
             flows=tuple(FlowSpec(**flow) for flow in data["flows"]),
+            telemetry=decode_value(data.get("telemetry")),
         )
 
 
@@ -195,10 +207,65 @@ def build_scenario_network(scenario: Scenario, seed: int):
     raise ValueError(f"unknown topology {scenario.topology!r}")
 
 
-def run_scenario_cell(spec: Mapping[str, Any], seed: int) -> Dict[str, Any]:
-    """Execute one (scenario, seed) cell — the worker-side entry point."""
-    scenario = Scenario.from_spec(spec)
+def _install_samplers(net, scenario: Scenario, telemetry: Telemetry) -> None:
+    """Install the samplers a :class:`TelemetrySpec` asks for.
+
+    Queue samplers watch every egress port of every switch and feed the
+    shared ``switch.queue_bytes`` histogram; the rate sampler watches
+    every flow.  All stop at the scenario horizon (``warmup +
+    duration``) — they must not keep the event loop alive forever.
+    """
+    spec = scenario.telemetry
+    if spec is None:
+        return
+    from repro.sim.monitor import QueueSampler, RateSampler
+
+    stop_ns = scenario.warmup_ns + scenario.duration_ns
+    if spec.queue_sample_ns is not None:
+        histogram = telemetry.metrics.histogram("switch.queue_bytes")
+        for switch in net.switches:
+            for port in switch.ports:
+                QueueSampler(
+                    net.engine,
+                    switch,
+                    port.index,
+                    interval_ns=spec.queue_sample_ns,
+                    stop_ns=stop_ns,
+                    tracer=telemetry.tracer,
+                    histogram=histogram,
+                )
+    if spec.rate_sample_ns is not None:
+        RateSampler(
+            net.engine,
+            net.flows,
+            interval_ns=spec.rate_sample_ns,
+            stop_ns=stop_ns,
+            tracer=telemetry.tracer,
+        )
+
+
+def run_scenario_inline(
+    scenario: Scenario,
+    seed: int,
+    telemetry: Optional[Telemetry] = None,
+    profiler=None,
+):
+    """Run one repetition in this process; returns ``(RunResult, Network)``.
+
+    The in-process twin of :func:`run_scenario_cell` for callers that
+    need the live :class:`~repro.sim.network.Network` (and its
+    telemetry) after the run — the CLI ``trace`` / ``profile`` commands
+    and tests.  ``telemetry`` overrides the context built from
+    ``scenario.telemetry``; the caller owns closing its sink.
+    ``profiler`` (a :class:`~repro.telemetry.SchedulerProfiler`) is
+    installed on the engine before the run starts.
+    """
+    if telemetry is None:
+        telemetry = Telemetry.from_spec(scenario.telemetry, seed=seed)
     net, resolve, probes = build_scenario_network(scenario, seed)
+    net.attach_telemetry(telemetry)
+    if profiler is not None:
+        profiler.install(net.engine)
     flows = []
     for flow_spec in scenario.flows:
         kwargs: Dict[str, Any] = {
@@ -212,6 +279,7 @@ def run_scenario_cell(spec: Mapping[str, Any], seed: int) -> Dict[str, Any]:
         if flow_spec.greedy:
             flow.set_greedy()
         flows.append((flow_spec.name, flow))
+    _install_samplers(net, scenario, telemetry)
 
     net.run_for(scenario.warmup_ns)
     before = {name: flow.bytes_delivered for name, flow in flows}
@@ -227,14 +295,25 @@ def run_scenario_cell(spec: Mapping[str, Any], seed: int) -> Dict[str, Any]:
     }
     for name, probe in probes.items():
         counters[name] = probe()
-    return RunResult(
+    result = RunResult(
         label=scenario.label,
         seed=seed,
         warmup_ns=scenario.warmup_ns,
         duration_ns=scenario.duration_ns,
         flows_bps=flows_bps,
         counters=counters,
-    ).to_json()
+        metrics=net.metrics_snapshot(),
+    )
+    return result, net
+
+
+def run_scenario_cell(spec: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """Execute one (scenario, seed) cell — the worker-side entry point."""
+    scenario = Scenario.from_spec(spec)
+    telemetry = Telemetry.from_spec(scenario.telemetry, seed=seed)
+    result, _ = run_scenario_inline(scenario, seed, telemetry=telemetry)
+    telemetry.close()
+    return result.to_json()
 
 
 _CELL_FN = "repro.runner.scenario:run_scenario_cell"

@@ -29,6 +29,10 @@ class Device:
         self.device_id = device_id
         self.name = name
         self.ports: List["Port"] = []
+        #: :class:`repro.telemetry.trace.Tracer` when tracing is on,
+        #: ``None`` otherwise — emit sites guard on ``is not None`` so
+        #: the disabled path costs one identity test.
+        self.tracer = None
 
     def attach_port(self, port: "Port") -> int:
         """Register a port; returns its index on this device."""

@@ -187,6 +187,16 @@ class Port:
             raise RuntimeError(f"port on {self.owner.name} is not connected")
         if self._error_rng is not None and self._error_rng.random() < self.error_rate:
             self.corrupted_frames += 1
+            tracer = self.owner.tracer
+            if tracer is not None:
+                tracer.emit(
+                    now,
+                    "pkt.drop",
+                    self.owner.name,
+                    flow=pkt.flow_id,
+                    reason="corrupt",
+                    bytes=pkt.size,
+                )
         else:
             self.engine.schedule(self.prop_delay_ns, peer.owner.receive, pkt, peer)
         self.owner.tx_complete(self, pkt)

@@ -33,6 +33,7 @@ from repro.sim.link import connect as connect_ports
 from repro.sim.nic import HostNic, NicConfig
 from repro.sim.routing import install_routes
 from repro.sim.switch import Switch, SwitchConfig
+from repro.telemetry import Telemetry
 
 #: Propagation delay used by default for intra-datacenter cables
 #: (~100 m of fiber at 5 ns/m).
@@ -50,6 +51,7 @@ class Network:
         seed: int = 0,
         dcqcn_params: Optional[DCQCNParams] = None,
         nic_config: Optional[NicConfig] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.engine = EventScheduler()
         self.rng = random.Random(seed)
@@ -60,6 +62,53 @@ class Network:
         self.switches: List[Switch] = []
         self.flows: List[Flow] = []
         self._next_device_id = 0
+        self.telemetry: Optional[Telemetry] = None
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
+
+    # --- telemetry ---------------------------------------------------------------
+
+    def attach_telemetry(self, telemetry: Telemetry) -> Telemetry:
+        """Bind a telemetry context to this network.
+
+        Safe to call after construction (topology builders create the
+        network internally): the tracer is propagated to every existing
+        device and reaction point, and anything created later inherits
+        it.  With tracing disabled (``telemetry.tracer is None``) the
+        per-device ``tracer`` attributes stay ``None`` and the hot
+        paths are unchanged.
+        """
+        self.telemetry = telemetry
+        tracer = telemetry.tracer
+        for switch in self.switches:
+            switch.tracer = tracer
+        for host in self.hosts:
+            host.nic.tracer = tracer
+        for flow in self.flows:
+            if flow.rp is not None:
+                flow.rp.tracer = tracer
+        return telemetry
+
+    @property
+    def tracer(self):
+        """The active tracer, or ``None`` when tracing is off."""
+        return self.telemetry.tracer if self.telemetry is not None else None
+
+    def metrics_snapshot(self) -> dict:
+        """Collect fleet-wide metrics into the attached (or a fresh)
+        registry and return its JSON snapshot.  End-of-run use only —
+        collection adds current totals."""
+        from repro.telemetry import MetricsRegistry, collect_network
+
+        registry = (
+            self.telemetry.metrics
+            if self.telemetry is not None
+            else MetricsRegistry()
+        )
+        collect_network(self, registry)
+        if self.telemetry is not None:
+            return self.telemetry.snapshot()
+        return registry.snapshot()
 
     # --- construction -------------------------------------------------------------
 
@@ -77,6 +126,7 @@ class Network:
             config=config,
             ecmp_salt=self.rng.getrandbits(64),
         )
+        switch.tracer = self.tracer
         self.switches.append(switch)
         return switch
 
@@ -88,6 +138,7 @@ class Network:
             f"{name}.nic",
             config=nic_config or self.nic_config,
         )
+        nic.tracer = self.tracer
         host = Host(name, nic)
         self.hosts.append(host)
         return host
@@ -148,7 +199,10 @@ class Network:
                 effective,
                 src.nic.line_rate_bps,
                 timer_seed=self.rng.getrandbits(32),
+                flow_id=flow_id,
+                component=f"{src.name}.rp",
             )
+            rp.tracer = self.tracer
             if initial_rate_bps is not None:
                 self.engine.schedule_at(start_ns, rp.seed_rate, initial_rate_bps)
         elif initial_rate_bps is not None:

@@ -32,6 +32,7 @@ from typing import Deque, Dict, Optional
 from repro import units
 from repro.core.np import NotificationPoint
 from repro.core.params import DCQCNParams
+from repro.telemetry import events as trace_events
 from repro.sim.device import Device
 from repro.sim.engine import EventScheduler
 from repro.sim.host import CONTROL_PRIORITY, Flow, NEVER
@@ -156,6 +157,13 @@ class HostNic(Device):
 
             def send_cnp() -> None:
                 self.cnps_sent += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        self.engine.now,
+                        trace_events.NP_CNP_TX,
+                        self.name,
+                        flow=flow_id,
+                    )
                 self._send_control(
                     cnp_packet(flow_id, self.device_id, sender_id, CONTROL_PRIORITY)
                 )
@@ -249,6 +257,15 @@ class HostNic(Device):
         elif kind == KIND_PAUSE or kind == KIND_RESUME:
             if pkt.pause:
                 in_port.rx_pause_frames += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.engine.now,
+                    trace_events.PFC_PAUSE_RX
+                    if pkt.pause
+                    else trace_events.PFC_RESUME_RX,
+                    self.name,
+                    prio=pkt.pause_priority,
+                )
             in_port.set_paused(pkt.pause_priority, pkt.pause)
         elif kind == KIND_QCN_FB:
             flow = self._tx_flows[pkt.flow_id]
@@ -260,7 +277,16 @@ class HostNic(Device):
         self.data_received += 1
         rxs = self._rx_states[pkt.flow_id]
         if rxs.np is not None:
-            rxs.np.on_data_packet(self.engine.now, pkt.ecn == ECN_CE)
+            marked = pkt.ecn == ECN_CE
+            fired = rxs.np.on_data_packet(self.engine.now, marked)
+            if marked and not fired and self.tracer is not None:
+                # CNP coalescing: a marked arrival inside the N window
+                self.tracer.emit(
+                    self.engine.now,
+                    trace_events.NP_CNP_COALESCED,
+                    self.name,
+                    flow=pkt.flow_id,
+                )
         flow = rxs.flow
         seq = pkt.seq
         if seq == rxs.expected_seq:
@@ -339,6 +365,13 @@ class HostNic(Device):
         if flow.acked_seq == flow._last_progress_seq:
             # No progress for a full RTO: tail loss — rewind.
             self.rto_fires += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.engine.now,
+                    trace_events.NIC_RTO,
+                    self.name,
+                    flow=flow.flow_id,
+                )
             flow._consecutive_rtos += 1
             limit = self.config.max_rto_retries
             if limit is not None and flow._consecutive_rtos > limit:
@@ -346,6 +379,13 @@ class HostNic(Device):
                 # retry_cnt exhausted); the flow is dead.
                 flow.failed = True
                 self.failed_flows += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        self.engine.now,
+                        trace_events.NIC_FLOW_FAILED,
+                        self.name,
+                        flow=flow.flow_id,
+                    )
                 return
             flow.rewind_to(flow.acked_seq)
         else:

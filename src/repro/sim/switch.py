@@ -38,6 +38,7 @@ from repro import units
 from repro.buffers.thresholds import SwitchProfile, dynamic_pfc_threshold
 from repro.core.cp import RedEcnMarker
 from repro.core.params import DCQCNParams
+from repro.telemetry import events as trace_events
 from repro.sim.device import Device
 from repro.sim.engine import EventScheduler
 from repro.sim.link import Port
@@ -210,6 +211,16 @@ class Switch(Device):
             if pkt.pause:
                 self.pause_frames_received += 1
                 in_port.rx_pause_frames += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.engine.now,
+                    trace_events.PFC_PAUSE_RX
+                    if pkt.pause
+                    else trace_events.PFC_RESUME_RX,
+                    self.name,
+                    port=in_port.index,
+                    prio=pkt.pause_priority,
+                )
             in_port.set_paused(pkt.pause_priority, pkt.pause)
             return
         self._enqueue(pkt, in_port.index)
@@ -219,6 +230,8 @@ class Switch(Device):
         if self.occupied_bytes + size > self.buffer_bytes:
             self.dropped_packets += 1
             self.dropped_bytes += size
+            if self.tracer is not None:
+                self._trace_drop(pkt, "buffer_full")
             return
         egress_index = self._pick_egress(pkt)
         if self.config.pfc_mode == "off":
@@ -228,6 +241,8 @@ class Switch(Device):
             if self._egress_bytes[egress_index][pkt.priority] + size > limit:
                 self.dropped_packets += 1
                 self.dropped_bytes += size
+                if self.tracer is not None:
+                    self._trace_drop(pkt, "egress_cap")
                 return
         prio = pkt.priority
         # CP algorithm: RED/ECN on the instantaneous egress queue depth.
@@ -238,6 +253,16 @@ class Switch(Device):
         ):
             pkt.ecn = ECN_CE
             self.marked_packets += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.engine.now,
+                    trace_events.CP_ECN_MARK,
+                    self.name,
+                    flow=pkt.flow_id,
+                    port=egress_index,
+                    prio=prio,
+                    queue_bytes=self._egress_bytes[egress_index][prio],
+                )
         pkt.ingress_index = ingress_index
         self.occupied_bytes += size
         if self.occupied_bytes > self.peak_occupancy_bytes:
@@ -284,6 +309,14 @@ class Switch(Device):
         if self._ingress_bytes[ingress_index][prio] > self.current_pfc_threshold():
             self._paused_upstream[key] = True
             self.pause_frames_sent += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.engine.now,
+                    trace_events.PFC_PAUSE_TX,
+                    self.name,
+                    port=ingress_index,
+                    prio=prio,
+                )
             self.ports[ingress_index].send_control(
                 pause_frame(self.device_id, prio, pause=True)
             )
@@ -301,6 +334,26 @@ class Switch(Device):
             if self._ingress_bytes[ingress_index][prio] <= resume_below:
                 self._paused_upstream[key] = False
                 self.resume_frames_sent += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        self.engine.now,
+                        trace_events.PFC_RESUME_TX,
+                        self.name,
+                        port=ingress_index,
+                        prio=prio,
+                    )
                 self.ports[ingress_index].send_control(
                     pause_frame(self.device_id, prio, pause=False)
                 )
+
+    # --- telemetry -------------------------------------------------------------
+
+    def _trace_drop(self, pkt: Packet, reason: str) -> None:
+        self.tracer.emit(
+            self.engine.now,
+            trace_events.PKT_DROP,
+            self.name,
+            flow=pkt.flow_id,
+            reason=reason,
+            bytes=pkt.size,
+        )

@@ -1,0 +1,90 @@
+"""JSONL trace linter: validate every event line against the schema.
+
+Used by CI after the trace smoke run::
+
+    python -m repro.telemetry.lint results/trace-smoke.jsonl
+
+Exit status 0 when every line parses and validates, 1 otherwise (the
+first ``--max-errors`` problems are printed with line numbers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro.telemetry.events import validate_event
+
+
+def lint_file(path: str, max_errors: int = 20) -> Tuple[int, List[str]]:
+    """Validate one JSONL trace; returns (lines checked, error strings)."""
+    errors: List[str] = []
+    lines = 0
+    last_t: Optional[int] = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            lines += 1
+            if len(errors) >= max_errors:
+                break
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"{path}:{lineno}: not JSON ({exc})")
+                continue
+            if not isinstance(event, dict):
+                errors.append(f"{path}:{lineno}: expected an object")
+                continue
+            for problem in validate_event(event):
+                errors.append(f"{path}:{lineno}: {problem}")
+            t = event.get("t")
+            if isinstance(t, int):
+                if last_t is not None and t < last_t:
+                    errors.append(
+                        f"{path}:{lineno}: time went backwards "
+                        f"({t} < {last_t})"
+                    )
+                last_t = t
+    return lines, errors
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.lint",
+        description="Validate JSONL trace files against the event schema.",
+    )
+    parser.add_argument("paths", nargs="+", help="trace files to check")
+    parser.add_argument(
+        "--max-errors",
+        type=int,
+        default=20,
+        help="stop after this many problems per file",
+    )
+    args = parser.parse_args(argv)
+    failed = False
+    for path in args.paths:
+        try:
+            lines, errors = lint_file(path, max_errors=args.max_errors)
+        except OSError as exc:
+            print(f"{path}: cannot read ({exc})", file=sys.stderr)
+            failed = True
+            continue
+        if errors:
+            failed = True
+            for error in errors:
+                print(error, file=sys.stderr)
+            print(
+                f"{path}: {len(errors)} problem(s) in {lines} line(s)",
+                file=sys.stderr,
+            )
+        else:
+            print(f"{path}: {lines} events ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())
