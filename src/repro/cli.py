@@ -17,6 +17,13 @@ Telemetry commands (see DESIGN.md §8)::
     python -m repro trace victim --level cc        # control-plane only
     python -m repro profile unfairness             # hotspot table
 
+Fault injection (see DESIGN.md §9)::
+
+    python -m repro faults list                    # injector vocabulary
+    python -m repro faults example                 # starter plan JSON
+    python -m repro run storm --faults plan.json   # scenario under faults
+    python -m repro trace storm --faults plan.json # ... with tracing on
+
 Each command prints the same rows the corresponding benchmark emits.
 The dispatch table is :data:`repro.runner.REGISTRY`, populated by
 :mod:`repro.experiments.catalog`; ``--jobs`` / ``--no-cache`` set the
@@ -87,6 +94,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="recompute everything, ignoring results/.cache/",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="simulation seed (named scenarios only)",
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help="overlay a fault plan when running a named scenario",
+    )
     return parser
 
 
@@ -112,7 +131,38 @@ def _telemetry_parser(prog: str, description: str) -> argparse.ArgumentParser:
         default=None,
         help="override REPRO_SCALE for this invocation",
     )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help="overlay a fault plan (see 'python -m repro faults example')",
+    )
     return parser
+
+
+def _load_fault_plan(path: str):
+    """Parse a plan file; prints the error and returns None on failure."""
+    import json
+
+    from repro.faults import FaultPlan
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        return FaultPlan.from_json(data)
+    except (OSError, ValueError, TypeError, KeyError) as exc:
+        print(f"bad fault plan {path!r}: {exc}", file=sys.stderr)
+        return None
+
+
+def _apply_fault_plan(scenario, path: Optional[str]):
+    """Overlay ``--faults`` onto a scenario; None if the plan is bad."""
+    if path is None:
+        return scenario
+    plan = _load_fault_plan(path)
+    if plan is None:
+        return None
+    return dataclasses.replace(scenario, faults=plan)
 
 
 def _build_named_scenario(scenario_id: str):
@@ -168,6 +218,8 @@ def trace_main(argv: Sequence[str]) -> int:
     if args.scale is not None:
         os.environ[SCALE_ENV] = args.scale
     scenario = _build_named_scenario(args.scenario)
+    if scenario is not None:
+        scenario = _apply_fault_plan(scenario, args.faults)
     if scenario is None:
         return 2
 
@@ -217,6 +269,8 @@ def profile_main(argv: Sequence[str]) -> int:
     if args.scale is not None:
         os.environ[SCALE_ENV] = args.scale
     scenario = _build_named_scenario(args.scenario)
+    if scenario is not None:
+        scenario = _apply_fault_plan(scenario, args.faults)
     if scenario is None:
         return 2
 
@@ -228,6 +282,76 @@ def profile_main(argv: Sequence[str]) -> int:
     print(f"=== profile: {scenario.label or args.scenario} ===")
     print(profiler.table(limit=args.limit))
     print()
+    print(result.table())
+    return 0
+
+
+def faults_main(argv: Sequence[str]) -> int:
+    """``python -m repro faults list|example`` — the injector vocabulary."""
+    parser = argparse.ArgumentParser(
+        prog="repro faults",
+        description="Inspect the fault-injection vocabulary (DESIGN.md §9).",
+    )
+    parser.add_argument(
+        "action",
+        choices=("list", "example"),
+        help="'list' the injector kinds; print an 'example' plan JSON",
+    )
+    args = parser.parse_args(argv)
+
+    import json
+
+    from repro import units
+    from repro.faults import (
+        FaultPlan,
+        INJECTOR_KINDS,
+        LinkFlap,
+        PauseStorm,
+        WatchdogConfig,
+    )
+
+    if args.action == "list":
+        rows = [
+            [kind, (cls.__doc__ or "").strip().splitlines()[0]]
+            for kind, cls in sorted(INJECTOR_KINDS.items())
+        ]
+        print(format_table(["kind", "injects"], rows))
+        return 0
+    # an example plan sized for the 'storm' scenario's dumbbell: a PAUSE
+    # storm on the stormed receiver plus one trunk flap later in the run
+    plan = FaultPlan(
+        injectors=(
+            PauseStorm(
+                host="R1", start_ns=units.us(500), duration_ns=units.us(500)
+            ),
+            LinkFlap(
+                a="SL", b="SR", start_ns=units.us(1500), down_ns=units.us(100)
+            ),
+        ),
+        watchdog=WatchdogConfig(),
+    )
+    print(json.dumps(plan.to_json(), indent=2, sort_keys=True))
+    return 0
+
+
+def run_scenario_main(scenario_id: str, args) -> int:
+    """``python -m repro run <scenario>`` — one inline scenario repetition.
+
+    Named scenarios (``python -m repro scenarios``) run through the same
+    path the telemetry commands use, so ``--faults`` overlays a plan and
+    the result table includes the fault/watchdog counters.
+    """
+    scenario = _build_named_scenario(scenario_id)
+    if scenario is not None:
+        scenario = _apply_fault_plan(scenario, getattr(args, "faults", None))
+    if scenario is None:
+        return 2
+
+    from repro.runner import run_scenario_inline
+
+    seed = getattr(args, "seed", 0) or 0
+    result, _ = run_scenario_inline(scenario, seed)
+    print(f"=== scenario {scenario_id}: {scenario.label or scenario_id} ===")
     print(result.table())
     return 0
 
@@ -245,6 +369,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if argv and argv[0] == "scenarios":
         print(list_scenarios())
         return 0
+    if argv and argv[0] == "faults":
+        return faults_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.scale is not None:
         os.environ[SCALE_ENV] = args.scale
@@ -262,6 +388,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(list_experiments())
         return 0
     if experiment_id not in REGISTRY:
+        # named scenarios run too ('repro run storm --faults plan.json')
+        if experiment_id in SCENARIOS:
+            return run_scenario_main(experiment_id, args)
         print(
             f"unknown experiment {experiment_id!r}; try 'list'",
             file=sys.stderr,

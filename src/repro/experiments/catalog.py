@@ -207,6 +207,21 @@ def microbench() -> str:
     return sec61()
 
 
+@experiment("chaos", "scripted fault injection: PAUSE storms, flaps, recovery")
+def chaos() -> str:
+    from repro.experiments.chaos import run_chaos
+    from repro.experiments.pfc_pathologies import run_pause_storm
+
+    storm = run_pause_storm()
+    sweep = run_chaos()
+    return (
+        "-- scripted PAUSE storm: cascade with and without DCQCN --\n"
+        + storm.table()
+        + "\n\n-- fault intensity sweep (storm + trunk flap, DCQCN) --\n"
+        + sweep.table()
+    )
+
+
 # --- named scenarios (python -m repro trace/profile <id>) ------------------
 
 
@@ -253,3 +268,18 @@ def victim_flow_scenario():
         duration_ns=scale.pick(units.ms(10), units.ms(30), units.ms(2)),
         warmup_ns=0,
     )
+
+
+@scenario("storm", "dumbbell feeder+victim, no built-in faults (use --faults)")
+def storm_scenario():
+    from repro.experiments.pfc_pathologies import pause_storm_scenario
+
+    # no plan baked in: this is the canvas for ``--faults plan.json``
+    return pause_storm_scenario("none", with_storm=False)
+
+
+@scenario("storm-dcqcn", "the storm scenario with a scripted PAUSE storm + DCQCN")
+def storm_dcqcn_scenario():
+    from repro.experiments.pfc_pathologies import pause_storm_scenario
+
+    return pause_storm_scenario("dcqcn")

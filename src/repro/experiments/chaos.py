@@ -1,0 +1,179 @@
+"""Chaos experiment: resilience vs fault intensity (see DESIGN.md §9).
+
+The paper's operational sections (§7 and the deployment discussion)
+are about surviving the failure modes PFC makes possible: slow
+receivers asserting PAUSE, flapping optics, lost or late CNPs.  This
+experiment runs the dumbbell feeder/victim scenario of
+:mod:`repro.experiments.pfc_pathologies` under an escalating
+:class:`~repro.faults.FaultPlan` — a PAUSE storm plus a trunk link
+flap whose durations grow with the intensity knob — and reports the
+resilience metrics the fault subsystem folds into every run: goodput
+under faults, worst victim loss, and time-to-recover.  The deadlock
+watchdog is armed at every point and must stay silent (storms and
+flaps stall flows; they must never read as cyclic buffer waits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro import units
+from repro.analysis.stats import percentile
+from repro.experiments import common
+from repro.runner import FlowSpec, Scenario, run_sweep
+from repro.runner import scale
+
+CHAOS_HEADERS = [
+    "intensity",
+    "victim Gbps",
+    "goodput frac",
+    "victim loss frac",
+    "recover us",
+    "watchdog cycles",
+]
+
+
+@dataclass
+class ChaosPoint:
+    """Resilience metrics at one fault intensity."""
+
+    intensity: float
+    victim_gbps: float
+    goodput_fraction: float
+    victim_loss_fraction: float
+    max_recovery_us: float
+    watchdog_cycles: int
+
+    def row(self) -> List[str]:
+        return [
+            f"{self.intensity:.2f}",
+            f"{self.victim_gbps:.2f}",
+            f"{self.goodput_fraction:.2f}",
+            f"{self.victim_loss_fraction:.2f}",
+            f"{self.max_recovery_us:.0f}",
+            str(self.watchdog_cycles),
+        ]
+
+
+@dataclass
+class ChaosResult:
+    """One :class:`ChaosPoint` per swept intensity."""
+
+    cc: str
+    repetitions: int
+    duration_ms: float
+    points: List[ChaosPoint] = field(default_factory=list)
+
+    def table(self) -> str:
+        return common.format_table(CHAOS_HEADERS, [p.row() for p in self.points])
+
+
+def chaos_scenario(
+    intensity: float,
+    cc: str = "dcqcn",
+    duration_ns: Optional[int] = None,
+    warmup_ns: Optional[int] = None,
+) -> Scenario:
+    """Feeder/victim dumbbell under a storm + flap plan.
+
+    ``intensity`` in [0, 1] scales both fault durations: at 0 the plan
+    is empty (clean baseline); at 1 the PAUSE storm covers ~40% of the
+    measurement window and the trunk flap ~10%.
+    """
+    from repro.faults import FaultPlan, LinkFlap, PauseStorm, WatchdogConfig
+
+    if not 0.0 <= intensity <= 1.0:
+        raise ValueError(f"intensity must be in [0, 1], got {intensity}")
+    duration_ns = duration_ns or scale.pick(units.ms(10), units.ms(30), units.ms(2))
+    if warmup_ns is None:
+        warmup_ns = (
+            scale.pick(units.ms(15), units.ms(30), units.ms(1))
+            if cc == "dcqcn"
+            else 0
+        )
+    injectors = []
+    if intensity > 0.0:
+        storm_ns = int(duration_ns * 0.4 * intensity)
+        flap_ns = int(duration_ns * 0.1 * intensity)
+        if storm_ns > 0:
+            injectors.append(PauseStorm(
+                host="R1",
+                start_ns=warmup_ns + duration_ns // 8,
+                duration_ns=storm_ns,
+            ))
+        if flap_ns > 0:
+            # the flap lands in the second half, after the storm clears,
+            # so each fault's recovery is observable on its own
+            injectors.append(LinkFlap(
+                a="SL",
+                b="SR",
+                start_ns=warmup_ns + (duration_ns * 3) // 4,
+                down_ns=flap_ns,
+            ))
+    faults = FaultPlan(
+        injectors=tuple(injectors), watchdog=WatchdogConfig()
+    ) if injectors else None
+    return Scenario(
+        topology="dumbbell",
+        topology_kwargs={"n_left": 2, "n_right": 2},
+        flows=(
+            FlowSpec(name="feeder", src="L1", dst="R1", cc=cc),
+            FlowSpec(name="victim", src="L2", dst="R2", cc=cc),
+        ),
+        warmup_ns=warmup_ns,
+        duration_ns=duration_ns,
+        label=f"chaos/{cc}/{intensity:.2f}",
+        faults=faults,
+    )
+
+
+def run_chaos(
+    intensities: Sequence[float] = (0.0, 0.25, 0.5, 1.0),
+    cc: str = "dcqcn",
+    repetitions: Optional[int] = None,
+    duration_ns: Optional[int] = None,
+    warmup_ns: Optional[int] = None,
+) -> ChaosResult:
+    """Sweep fault intensity and report the resilience metrics."""
+    repetitions = repetitions or scale.pick(3, 6, 2)
+    scenarios = {
+        intensity: chaos_scenario(
+            intensity, cc=cc, duration_ns=duration_ns, warmup_ns=warmup_ns
+        )
+        for intensity in intensities
+    }
+    seeds = {
+        intensity: scale.seeds_for(repetitions, base=9000)
+        for intensity in intensities
+    }
+    sweep = run_sweep("intensity", scenarios, seeds)
+    sample = next(iter(scenarios.values()))
+    result = ChaosResult(
+        cc=cc, repetitions=repetitions, duration_ms=sample.duration_ns / 1e6
+    )
+    for point in sweep.points:
+        gauges: Dict[str, float] = {}
+        cycles = 0
+        for run in point.runs:
+            for name in (
+                "fault.goodput_fraction",
+                "fault.victim_loss_fraction",
+                "fault.max_recovery_ns",
+            ):
+                value = run.metrics.get("gauges", {}).get(name)
+                if value is not None:
+                    gauges.setdefault(name, 0.0)
+                    gauges[name] += value / len(point.runs)
+            cycles += int(run.metrics.get("counters", {}).get(
+                "watchdog.cycles", 0
+            ))
+        result.points.append(ChaosPoint(
+            intensity=point.value,
+            victim_gbps=percentile(point.flow_samples("victim"), 50) / 1e9,
+            goodput_fraction=gauges.get("fault.goodput_fraction", 1.0),
+            victim_loss_fraction=gauges.get("fault.victim_loss_fraction", 0.0),
+            max_recovery_us=gauges.get("fault.max_recovery_ns", 0.0) / 1e3,
+            watchdog_cycles=cycles,
+        ))
+    return result

@@ -65,6 +65,7 @@ def loss_cell(
     seed: int,
 ) -> Dict[str, Any]:
     """One greedy flow through a lossy access link — worker entry point."""
+    from repro.runner.scale import derive_seed
     from repro.sim.nic import NicConfig
     from repro.sim.topology import single_switch
 
@@ -73,8 +74,12 @@ def loss_cell(
     )
     sender, receiver = hosts[0], hosts[2]
     # corrupt frames on the switch->receiver hop (data direction only;
-    # ACKs/NACKs ride the clean reverse hop)
-    switch.port_to(receiver.nic).set_error_rate(loss_rate, seed=seed + 1)
+    # ACKs/NACKs ride the clean reverse hop).  The error RNG gets its
+    # own derived stream so it can never alias another consumer of the
+    # run seed (the old ``seed + 1`` collided with the next base seed).
+    switch.port_to(receiver.nic).set_error_rate(
+        loss_rate, seed=derive_seed(seed, "link_errors.access_link")
+    )
     flow = net.add_flow(sender, receiver, cc="dcqcn")
     flow.set_greedy()
     net.run_for(duration_ns)

@@ -253,3 +253,192 @@ def run_victim_flow(
     for point in sweep.points:
         result.victim_bps[point.value] = point.flow_samples("victim")
     return result
+
+
+# --- scripted pause storms (repro.faults migration) -------------------------
+#
+# The unfairness/victim scenarios above induce PAUSE organically through
+# incast.  The storm scenario below instead *scripts* the pathology with a
+# :class:`repro.faults.PauseStorm` — a slow-receiver NIC asserting PFC on
+# its access link, the §7 pathology the paper's deadwatch/storm-control
+# deployments guard against — so the blast radius is controlled and the
+# recovery metrics (time-to-recover, victim loss) are measured by the
+# fault subsystem itself.
+
+
+@dataclass
+class PauseStormResult:
+    """Feeder/victim damage from a scripted PAUSE storm, per CC variant."""
+
+    repetitions: int
+    duration_ms: float
+    storm_ms: float
+    #: cc -> list of per-run feeder throughputs under storm (bps)
+    feeder_bps: Dict[str, List[float]] = field(default_factory=dict)
+    #: cc -> list of per-run victim throughputs under storm (bps)
+    victim_bps: Dict[str, List[float]] = field(default_factory=dict)
+    #: cc -> list of per-run victim throughputs with no storm (bps)
+    clean_victim_bps: Dict[str, List[float]] = field(default_factory=dict)
+    #: cc -> list of per-run PAUSE frame totals under storm
+    pause_frames: Dict[str, List[int]] = field(default_factory=dict)
+    #: cc -> list of per-run in-storm goodput fractions (fault gauge)
+    goodput_fraction: Dict[str, List[float]] = field(default_factory=dict)
+
+    def victim_loss_pct(self, cc: str) -> float:
+        """Median victim throughput loss vs the storm-free run."""
+        clean = percentile(self.clean_victim_bps[cc], 50)
+        stormy = percentile(self.victim_bps[cc], 50)
+        if clean <= 0:
+            return 0.0
+        return 100.0 * (1.0 - stormy / clean)
+
+    def table(self) -> str:
+        rows = []
+        for cc in sorted(self.victim_bps):
+            rows.append([
+                cc,
+                f"{percentile(self.feeder_bps[cc], 50) / 1e9:.2f}",
+                f"{percentile(self.victim_bps[cc], 50) / 1e9:.2f}",
+                f"{percentile(self.clean_victim_bps[cc], 50) / 1e9:.2f}",
+                f"{self.victim_loss_pct(cc):.1f}%",
+                str(int(percentile(self.pause_frames[cc], 50))),
+                f"{percentile(self.goodput_fraction[cc], 50):.2f}",
+            ])
+        return common.format_table(
+            [
+                "cc",
+                "feeder Gbps",
+                "victim Gbps",
+                "victim clean Gbps",
+                "victim loss",
+                "PAUSE frames",
+                "storm goodput",
+            ],
+            rows,
+        )
+
+
+def pause_storm_scenario(
+    cc: str = "none",
+    duration_ns: Optional[int] = None,
+    warmup_ns: Optional[int] = None,
+    storm_ns: Optional[int] = None,
+    storm_count: int = 1,
+    with_storm: bool = True,
+    switch_config: Optional[SwitchConfig] = None,
+) -> Scenario:
+    """Dumbbell feeder+victim spec with a scripted PAUSE storm on R1.
+
+    L1 writes to R1 (the stormed receiver) and L2 writes to R2 (the
+    victim); both share the SL--SR trunk.  While R1 asserts PAUSE, the
+    frames parked in SR back the trunk up and — without congestion
+    control — cascade PAUSE onto SL and both senders, robbing the
+    victim.  With DCQCN the feeder is paced off before the cascade
+    forms and the victim keeps its share.  The plan also arms the
+    :class:`~repro.faults.DeadlockWatchdog`, which must stay quiet:
+    a storm is a stall, not a cyclic buffer dependency.
+    """
+    from repro.faults import FaultPlan, PauseStorm, WatchdogConfig
+
+    duration_ns = duration_ns or scale.pick(units.ms(10), units.ms(30), units.ms(2))
+    if warmup_ns is None:
+        warmup_ns = (
+            scale.pick(units.ms(15), units.ms(30), units.ms(1))
+            if cc == "dcqcn"
+            else 0
+        )
+    # PFC is lossless, so a storm only *delays* frames; damage survives
+    # into the mean only if the storm outlasts the catch-up headroom
+    # after it (each access link has 2x a flow's trunk share).  The
+    # default storm runs from 25% of the window to the end: long enough
+    # for the cascade to reach the victim's sender and nothing left to
+    # catch up in.
+    storm_ns = storm_ns or max((3 * duration_ns) // 4, units.us(100))
+    faults = None
+    label = f"pause_storm/{cc}/clean"
+    if with_storm:
+        # repeats (if storm_count > 1) ride a half-window cooldown so
+        # the recovery tracker can watch each one heal
+        period_ns = storm_ns + max(duration_ns // 2, units.us(100))
+        faults = FaultPlan(
+            injectors=(
+                PauseStorm(
+                    host="R1",
+                    start_ns=warmup_ns + duration_ns // 4,
+                    duration_ns=storm_ns,
+                    period_ns=period_ns if storm_count > 1 else 0,
+                    count=storm_count,
+                ),
+            ),
+            watchdog=WatchdogConfig(),
+        )
+        label = f"pause_storm/{cc}/storm{storm_count}"
+    return Scenario(
+        topology="dumbbell",
+        topology_kwargs={
+            "n_left": 2,
+            "n_right": 2,
+            **({"switch_config": switch_config} if switch_config else {}),
+        },
+        flows=(
+            FlowSpec(name="feeder", src="L1", dst="R1", cc=cc),
+            FlowSpec(name="victim", src="L2", dst="R2", cc=cc),
+        ),
+        warmup_ns=warmup_ns,
+        duration_ns=duration_ns,
+        label=label,
+        faults=faults,
+    )
+
+
+def run_pause_storm(
+    ccs: Sequence[str] = ("none", "dcqcn"),
+    repetitions: Optional[int] = None,
+    duration_ns: Optional[int] = None,
+    warmup_ns: Optional[int] = None,
+    storm_ns: Optional[int] = None,
+    storm_count: int = 1,
+) -> PauseStormResult:
+    """Scripted PAUSE storm, with and without DCQCN.
+
+    Without CC the storm cascades over the trunk and the victim loses
+    throughput it should not; with DCQCN the cascade never forms.  Each
+    CC variant is also run storm-free to give the victim a baseline.
+    """
+    repetitions = repetitions or scale.pick(3, 6, 2)
+    sample = pause_storm_scenario(
+        cc=ccs[0], duration_ns=duration_ns, warmup_ns=warmup_ns,
+        storm_ns=storm_ns, storm_count=storm_count,
+    )
+    result = PauseStormResult(
+        repetitions=repetitions,
+        duration_ms=sample.duration_ns / 1e6,
+        storm_ms=(
+            storm_ns or max((3 * sample.duration_ns) // 4, units.us(100))
+        ) / 1e6,
+    )
+    for cc in ccs:
+        stormy = pause_storm_scenario(
+            cc=cc, duration_ns=duration_ns, warmup_ns=warmup_ns,
+            storm_ns=storm_ns, storm_count=storm_count,
+        )
+        clean = pause_storm_scenario(
+            cc=cc, duration_ns=duration_ns, warmup_ns=warmup_ns,
+            storm_ns=storm_ns, with_storm=False,
+        )
+        seeds = scale.seeds_for(repetitions, base=7000)
+        stormy_runs = run_scenario(stormy, seeds)
+        clean_runs = run_scenario(clean, seeds)
+        result.feeder_bps[cc] = [run.flows_bps["feeder"] for run in stormy_runs]
+        result.victim_bps[cc] = [run.flows_bps["victim"] for run in stormy_runs]
+        result.clean_victim_bps[cc] = [
+            run.flows_bps["victim"] for run in clean_runs
+        ]
+        result.pause_frames[cc] = [
+            int(run.metric("pfc.pause_tx")) for run in stormy_runs
+        ]
+        result.goodput_fraction[cc] = [
+            run.metrics.get("gauges", {}).get("fault.goodput_fraction", 1.0)
+            for run in stormy_runs
+        ]
+    return result

@@ -1,0 +1,150 @@
+"""Recovery metrics: how fast flows heal after scripted faults.
+
+The tracker samples every flow's delivered bytes on a fixed cadence
+and maintains a per-flow EWMA goodput baseline from the samples taken
+*outside* fault windows.  From that it derives the three resilience
+numbers folded into every fault-bearing :class:`RunResult`:
+
+* **time-to-recover** — at the end of each merged fault window every
+  flow with an established baseline enters a recovering state; the
+  first later sample whose goodput reaches ``recover_fraction`` of the
+  baseline closes it (``fault.recovered`` event, ``fault.recoveries``
+  counter, ``fault.max_recovery_ns`` / ``fault.mean_recovery_ns``
+  gauges).  Flows a fault never touched recover within one sample
+  period, so the *max* is the honest damage number.
+* **goodput under faults** — bytes delivered inside fault windows over
+  the baseline-predicted bytes (``fault.goodput_fraction``).
+* **victim-flow loss** — the worst per-flow throughput deficit inside
+  fault windows (``fault.victim_loss_fraction``), the collateral-damage
+  number for pause-storm pathologies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry import events as trace_events
+
+#: component name recovery events are emitted under
+_COMPONENT = "faults"
+
+
+class RecoveryTracker:
+    """Samples flow progress and scores recovery after fault windows."""
+
+    def __init__(
+        self,
+        net,
+        windows: List[Tuple[int, int]],
+        sample_ns: int,
+        telemetry,
+        stop_ns: int,
+        recover_fraction: float = 0.9,
+        baseline_alpha: float = 0.2,
+    ):
+        if sample_ns <= 0:
+            raise ValueError(f"sample_ns must be positive, got {sample_ns}")
+        self.net = net
+        self.windows = list(windows)
+        self.sample_ns = sample_ns
+        self.tracer = telemetry.tracer
+        self.metrics = telemetry.metrics
+        self.stop_ns = stop_ns
+        self.recover_fraction = recover_fraction
+        self.baseline_alpha = baseline_alpha
+        self.recovery_times: List[int] = []
+        self._last_bytes: Dict[int, int] = {}
+        self._last_ns = net.engine.now
+        self._baseline: Dict[int, float] = {}  # flow id -> bytes/ns EWMA
+        self._recovering: Dict[int, Tuple[int, float]] = {}
+        self._window_bytes = 0.0
+        self._expected_bytes = 0.0
+        self._flow_window_bytes: Dict[int, float] = {}
+        self._flow_expected: Dict[int, float] = {}
+        engine = net.engine
+        engine.schedule(sample_ns, self._sample)
+        for _, end in self.windows:
+            engine.schedule_at(end, self._on_window_end, end)
+
+    def _window_at(self, t: int) -> Optional[Tuple[int, int]]:
+        for start, end in self.windows:
+            if start <= t < end:
+                return (start, end)
+        return None
+
+    def _on_window_end(self, end_ns: int) -> None:
+        for flow in self.net.flows:
+            baseline = self._baseline.get(flow.flow_id)
+            if baseline is not None and baseline > 0:
+                self._recovering[flow.flow_id] = (end_ns, baseline)
+
+    def _sample(self) -> None:
+        now = self.net.engine.now
+        dt = now - self._last_ns
+        if dt > 0:
+            in_window = self._window_at(now) is not None
+            for flow in self.net.flows:
+                fid = flow.flow_id
+                delta = flow.bytes_delivered - self._last_bytes.get(fid, 0)
+                self._last_bytes[fid] = flow.bytes_delivered
+                rate = delta / dt
+                baseline = self._baseline.get(fid)
+                if in_window:
+                    if baseline is not None:
+                        self._window_bytes += delta
+                        self._expected_bytes += baseline * dt
+                        self._flow_window_bytes[fid] = (
+                            self._flow_window_bytes.get(fid, 0.0) + delta
+                        )
+                        self._flow_expected[fid] = (
+                            self._flow_expected.get(fid, 0.0) + baseline * dt
+                        )
+                    continue
+                recovering = self._recovering.get(fid)
+                if recovering is not None:
+                    fault_end, base = recovering
+                    if rate >= self.recover_fraction * base:
+                        recover_ns = now - fault_end
+                        self.recovery_times.append(recover_ns)
+                        self.metrics.counter("fault.recoveries").inc()
+                        if self.tracer is not None:
+                            self.tracer.emit(
+                                now,
+                                trace_events.FAULT_RECOVERED,
+                                _COMPONENT,
+                                flow=fid,
+                                recover_ns=recover_ns,
+                            )
+                        del self._recovering[fid]
+                        continue  # the depressed sample must not drag the baseline
+                if flow.start_ns <= now:
+                    if baseline is None:
+                        self._baseline[fid] = rate
+                    else:
+                        alpha = self.baseline_alpha
+                        self._baseline[fid] = (1 - alpha) * baseline + alpha * rate
+        self._last_ns = now
+        if now + self.sample_ns <= self.stop_ns:
+            self.net.engine.schedule(self.sample_ns, self._sample)
+
+    def finalize(self) -> None:
+        """Fold the resilience gauges into the metrics registry."""
+        if self.recovery_times:
+            self.metrics.gauge("fault.max_recovery_ns").set_max(
+                max(self.recovery_times)
+            )
+            self.metrics.gauge("fault.mean_recovery_ns").set(
+                sum(self.recovery_times) / len(self.recovery_times)
+            )
+        if self._expected_bytes > 0:
+            self.metrics.gauge("fault.goodput_fraction").set(
+                self._window_bytes / self._expected_bytes
+            )
+        worst = 0.0
+        for fid, expected in self._flow_expected.items():
+            if expected <= 0:
+                continue
+            got = self._flow_window_bytes.get(fid, 0.0)
+            worst = max(worst, 1.0 - got / expected)
+        if self._flow_expected:
+            self.metrics.gauge("fault.victim_loss_fraction").set(max(0.0, worst))

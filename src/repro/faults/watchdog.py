@@ -1,0 +1,144 @@
+"""Deadlock watchdog: periodic pause wait-for graph scans.
+
+PFC keeps the fabric lossless by propagating backpressure hop by hop;
+the price is the classic cyclic-buffer-dependency hazard — if the
+"who is pausing whom" relation ever contains a cycle, every device on
+it waits for the next and the fabric deadlocks (the reason the paper's
+operators treat PFC storms as sev-1 incidents).
+
+The watchdog scans the live network every ``scan_ns``:
+
+* **Wait-for edges.**  ``port.paused_mask`` on device ``D`` means the
+  *peer* told ``D`` to stop sending, so ``D`` waits for the peer: an
+  edge ``D -> peer``.  Edges are collected over every port of every
+  switch and NIC.
+* **Cycles.**  An iterative DFS over the (sorted, hence deterministic)
+  edge set reports one cycle per scan — ``watchdog.cycle`` events with
+  the member list, plus the ``watchdog.cycles`` counter and the
+  ``watchdog.max_cycle_len`` gauge.
+* **Global stalls.**  If total delivered bytes have not advanced for
+  ``stall_ticks`` consecutive scans while some started, unfailed flow
+  still has backlog, a ``watchdog.stall`` fires.  Transient pause
+  trees park *some* flows; a healthy fabric never parks *all* of them,
+  so this catches deadlock even when the cycle closes through state
+  the pause snapshot cannot see.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.faults.plan import WatchdogConfig
+from repro.telemetry import events as trace_events
+
+#: component name watchdog events are emitted under
+_COMPONENT = "watchdog"
+
+
+class DeadlockWatchdog:
+    """Periodic deadlock scanner over a live network."""
+
+    def __init__(self, net, config: WatchdogConfig, telemetry, stop_ns: int):
+        self.net = net
+        self.config = config
+        self.tracer = telemetry.tracer
+        self.metrics = telemetry.metrics
+        self.stop_ns = stop_ns
+        self.scans = 0
+        self.cycles_found = 0
+        self.stalls_flagged = 0
+        self.last_cycle: List[str] = []
+        self._stall_ticks = 0
+        self._last_delivered = -1
+        net.engine.schedule(config.scan_ns, self._scan)
+
+    # --- graph ------------------------------------------------------------
+
+    def _edges(self) -> Dict[str, Set[str]]:
+        """The pause wait-for graph: device name -> names it waits for."""
+        edges: Dict[str, Set[str]] = {}
+        devices = [*self.net.switches, *(host.nic for host in self.net.hosts)]
+        for device in devices:
+            for port in device.ports:
+                if port.paused_mask and port.peer is not None:
+                    edges.setdefault(device.name, set()).add(port.peer.owner.name)
+        return edges
+
+    @staticmethod
+    def find_cycle(edges: Dict[str, Set[str]]) -> List[str]:
+        """One cycle in ``edges`` as an ordered member list, or ``[]``."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        color: Dict[str, int] = {}
+        for root in sorted(edges):
+            if color.get(root, WHITE) != WHITE:
+                continue
+            color[root] = GREY
+            stack = [(root, iter(sorted(edges.get(root, ()))))]
+            path = [root]
+            while stack:
+                node, neighbors = stack[-1]
+                nxt = next(neighbors, None)
+                if nxt is None:
+                    color[node] = BLACK
+                    stack.pop()
+                    path.pop()
+                    continue
+                state = color.get(nxt, WHITE)
+                if state == GREY:
+                    return path[path.index(nxt):]
+                if state == WHITE:
+                    color[nxt] = GREY
+                    stack.append((nxt, iter(sorted(edges.get(nxt, ())))))
+                    path.append(nxt)
+        return []
+
+    # --- scan loop --------------------------------------------------------
+
+    def _scan(self) -> None:
+        now = self.net.engine.now
+        self.scans += 1
+        self.metrics.counter("watchdog.scans").inc()
+        edges = self._edges()
+        if self.tracer is not None:
+            self.tracer.emit(
+                now,
+                trace_events.WATCHDOG_SCAN,
+                _COMPONENT,
+                edges=sum(len(targets) for targets in edges.values()),
+            )
+        cycle = self.find_cycle(edges)
+        if cycle:
+            self.cycles_found += 1
+            self.last_cycle = cycle
+            self.metrics.counter("watchdog.cycles").inc()
+            self.metrics.gauge("watchdog.max_cycle_len").set_max(len(cycle))
+            if self.tracer is not None:
+                self.tracer.emit(
+                    now,
+                    trace_events.WATCHDOG_CYCLE,
+                    _COMPONENT,
+                    size=len(cycle),
+                    members=list(cycle),
+                )
+        delivered = sum(flow.bytes_delivered for flow in self.net.flows)
+        backlog = any(
+            flow.has_backlog() and flow.start_ns <= now
+            for flow in self.net.flows
+        )
+        if delivered == self._last_delivered and backlog:
+            self._stall_ticks += 1
+            if self._stall_ticks == self.config.stall_ticks:
+                self.stalls_flagged += 1
+                self.metrics.counter("watchdog.stalls").inc()
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        now,
+                        trace_events.WATCHDOG_STALL,
+                        _COMPONENT,
+                        ticks=self._stall_ticks,
+                    )
+        else:
+            self._stall_ticks = 0
+        self._last_delivered = delivered
+        if now + self.config.scan_ns <= self.stop_ns:
+            self.net.engine.schedule(self.config.scan_ns, self._scan)

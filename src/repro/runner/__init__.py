@@ -39,7 +39,7 @@ from repro.runner.registry import (
     experiment,
 )
 from repro.runner.results import RunResult, SweepPoint, SweepResult, format_table
-from repro.runner.scale import SCALE_ENV, pick, seeds_for
+from repro.runner.scale import SCALE_ENV, derive_seed, pick, seeds_for
 from repro.runner.scenario import (
     FlowSpec,
     Scenario,
@@ -67,6 +67,7 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "default_jobs",
+    "derive_seed",
     "execute",
     "experiment",
     "format_table",

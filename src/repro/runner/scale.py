@@ -12,6 +12,7 @@ this module so one environment variable controls the whole suite:
 
 from __future__ import annotations
 
+import hashlib
 import os
 from typing import List
 
@@ -51,3 +52,17 @@ def pick(quick_value, full_value, smoke_value=_UNSET):
 def seeds_for(repetitions: int, base: int = 1000) -> List[int]:
     """Deterministic, well-spread seeds for repeated runs."""
     return [base + 7919 * rep for rep in range(repetitions)]
+
+
+def derive_seed(seed: int, stream: str) -> int:
+    """A deterministic sub-seed for one named RNG stream of a run.
+
+    Every independent randomness consumer (link-error RNG, each fault
+    injector) derives its own stream from the run seed plus a stable
+    stream name, so streams never alias (the old ``seed + 1`` idiom
+    collides with the next repetition's base seed) and the derivation
+    is captured by the result-cache content hash via the code
+    fingerprint.
+    """
+    digest = hashlib.sha256(f"{seed}:{stream}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")

@@ -38,6 +38,15 @@ _KIND_KEY = "__kind__"
 def _config_types() -> Dict[str, type]:
     from repro.buffers.thresholds import SwitchProfile
     from repro.core.params import DCQCNParams
+    from repro.faults.plan import (
+        CnpImpairment,
+        ErrorBurst,
+        FaultPlan,
+        LinkFlap,
+        PauseStorm,
+        SlowReceiver,
+        WatchdogConfig,
+    )
     from repro.sim.nic import NicConfig
     from repro.sim.switch import SwitchConfig
 
@@ -49,6 +58,13 @@ def _config_types() -> Dict[str, type]:
             SwitchConfig,
             NicConfig,
             TelemetrySpec,
+            FaultPlan,
+            LinkFlap,
+            ErrorBurst,
+            PauseStorm,
+            CnpImpairment,
+            SlowReceiver,
+            WatchdogConfig,
         )
     }
 
@@ -119,6 +135,10 @@ class Scenario:
     #: optional telemetry request (trace level, sink, samplers); None
     #: means metrics-only — tracing off, no run-time samplers
     telemetry: Optional[TelemetrySpec] = None
+    #: optional fault plan (:mod:`repro.faults`); installed after the
+    #: network is built, so the plan is part of the cell spec — and
+    #: therefore of the result-cache content hash
+    faults: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.topology not in TOPOLOGIES:
@@ -132,6 +152,13 @@ class Scenario:
             raise ValueError(f"flow names must be unique, got {names}")
         if self.warmup_ns < 0 or self.duration_ns <= 0:
             raise ValueError("need warmup_ns >= 0 and duration_ns > 0")
+        if self.faults is not None:
+            from repro.faults.plan import FaultPlan
+
+            if not isinstance(self.faults, FaultPlan):
+                raise TypeError(
+                    f"faults must be a FaultPlan, got {type(self.faults).__name__}"
+                )
 
     def spec(self) -> Dict[str, Any]:
         """The JSON-serializable form (cache key + worker transport)."""
@@ -143,6 +170,7 @@ class Scenario:
             "topology_kwargs": encode_value(dict(self.topology_kwargs)),
             "flows": [dataclasses.asdict(flow) for flow in self.flows],
             "telemetry": encode_value(self.telemetry),
+            "faults": encode_value(self.faults),
         }
 
     @classmethod
@@ -155,6 +183,7 @@ class Scenario:
             topology_kwargs=decode_value(data.get("topology_kwargs", {})),
             flows=tuple(FlowSpec(**flow) for flow in data["flows"]),
             telemetry=decode_value(data.get("telemetry")),
+            faults=decode_value(data.get("faults")),
         )
 
 
@@ -280,10 +309,24 @@ def run_scenario_inline(
             flow.set_greedy()
         flows.append((flow_spec.name, flow))
     _install_samplers(net, scenario, telemetry)
+    fault_runtime = None
+    if scenario.faults is not None:
+        from repro.faults import install_plan
+
+        fault_runtime = install_plan(
+            net,
+            scenario.faults,
+            resolve,
+            seed=seed,
+            horizon_ns=scenario.warmup_ns + scenario.duration_ns,
+            telemetry=telemetry,
+        )
 
     net.run_for(scenario.warmup_ns)
     before = {name: flow.bytes_delivered for name, flow in flows}
     net.run_for(scenario.duration_ns)
+    if fault_runtime is not None:
+        fault_runtime.finalize()
 
     flows_bps = {
         name: (flow.bytes_delivered - before[name]) * 8e9 / scenario.duration_ns

@@ -22,6 +22,11 @@ Ports implement the details PFC correctness depends on:
   probability models CRC-failing frames on a marginal cable.  RoCEv2's
   go-back-N makes such losses expensive, which is exactly the §7
   discussion; :mod:`repro.experiments.link_errors` quantifies it.
+* **Fault hooks** (:mod:`repro.faults`) — a port can be taken *down*
+  (:meth:`Port.set_link_up`; frames finishing serialization while down
+  are lost, nothing new starts) and its rate changed mid-run
+  (:meth:`Port.set_rate`, the slow-receiver injector).  Both are
+  no-ops for scenarios that never script a fault.
 """
 
 from __future__ import annotations
@@ -61,6 +66,8 @@ class Port:
         "corrupted_frames",
         "_paused_since",
         "_paused_ns",
+        "link_up",
+        "link_down_drops",
     )
 
     def __init__(self, engine: EventScheduler, owner: Device, rate_bps: float, prop_delay_ns: int):
@@ -95,6 +102,9 @@ class Port:
         # cumulative time each priority spent PAUSEd (prio -> ns)
         self._paused_since: dict = {}
         self._paused_ns: dict = {}
+        # link fault state (LinkFlap injector)
+        self.link_up = True
+        self.link_down_drops = 0
 
     # --- pause state --------------------------------------------------------
 
@@ -131,6 +141,33 @@ class Port:
             total += self.engine.now - started
         return total
 
+    # --- fault hooks --------------------------------------------------------
+
+    def set_link_up(self, up: bool) -> None:
+        """Take this port down / bring it back up (LinkFlap injector).
+
+        While down, no new transmission starts and a frame whose
+        serialization completes is lost in flight (the cable is dark).
+        Frames already past serialization — i.e. propagating — still
+        deliver.  Bringing the port up re-kicks the transmit path.
+        """
+        if up == self.link_up:
+            return
+        self.link_up = up
+        if up:
+            self.notify()
+
+    def set_rate(self, rate_bps: float) -> None:
+        """Change the serialization rate mid-run (SlowReceiver injector).
+
+        Applies from the next transmission; an in-flight frame finishes
+        on the schedule its start-of-serialization rate granted.
+        """
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        self.rate_bps = rate_bps
+        self._ns_per_byte = 8 * 1_000_000_000 / rate_bps
+
     # --- transmit path --------------------------------------------------------
 
     def send_control(self, pkt: Packet) -> None:
@@ -142,7 +179,7 @@ class Port:
 
     def notify(self) -> None:
         """Poke the port: if idle, try to start the next transmission."""
-        if self.busy:
+        if self.busy or not self.link_up:
             return
         pkt = self._dequeue()
         if pkt is None:
@@ -185,7 +222,20 @@ class Port:
         peer = self.peer
         if peer is None:
             raise RuntimeError(f"port on {self.owner.name} is not connected")
-        if self._error_rng is not None and self._error_rng.random() < self.error_rate:
+        if not self.link_up:
+            # the cable went dark mid-serialization: the frame is lost
+            self.link_down_drops += 1
+            tracer = self.owner.tracer
+            if tracer is not None:
+                tracer.emit(
+                    now,
+                    "pkt.drop",
+                    self.owner.name,
+                    flow=pkt.flow_id,
+                    reason="link_down",
+                    bytes=pkt.size,
+                )
+        elif self._error_rng is not None and self._error_rng.random() < self.error_rate:
             self.corrupted_frames += 1
             tracer = self.owner.tracer
             if tracer is not None:

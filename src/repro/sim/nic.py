@@ -121,6 +121,13 @@ class HostNic(Device):
         self.out_of_order_drops = 0
         self.rto_fires = 0
         self.failed_flows = 0
+        # reverse-path fault hook (repro.faults CnpImpairment): when
+        # set, every arriving CNP is offered to the impairment first;
+        # it may drop it, delay it (re-delivering via _deliver_cnp), or
+        # let it through.  None (the default) costs one attribute test.
+        self.cnp_impairment = None
+        self.cnps_dropped = 0
+        self.cnps_delayed = 0
 
     # --- wiring -----------------------------------------------------------------
 
@@ -250,10 +257,10 @@ class HostNic(Device):
             flow = self._tx_flows[pkt.flow_id]
             flow.rewind_to(pkt.seq)
         elif kind == KIND_CNP:
-            self.cnps_received += 1
-            flow = self._tx_flows[pkt.flow_id]
-            if flow.rp is not None:
-                flow.rp.on_cnp()
+            if self.cnp_impairment is not None:
+                if self.cnp_impairment.intercept(self, pkt):
+                    return
+            self._deliver_cnp(pkt)
         elif kind == KIND_PAUSE or kind == KIND_RESUME:
             if pkt.pause:
                 in_port.rx_pause_frames += 1
@@ -272,6 +279,13 @@ class HostNic(Device):
             flow.on_qcn_feedback(pkt.qcn_fb)
         else:  # pragma: no cover - defensive
             raise ValueError(f"{self.name}: unexpected packet {pkt!r}")
+
+    def _deliver_cnp(self, pkt: Packet) -> None:
+        """Hand a CNP to the flow's RP (also the delayed-delivery path)."""
+        self.cnps_received += 1
+        flow = self._tx_flows[pkt.flow_id]
+        if flow.rp is not None:
+            flow.rp.on_cnp()
 
     def _receive_data(self, pkt: Packet) -> None:
         self.data_received += 1

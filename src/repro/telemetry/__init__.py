@@ -23,6 +23,11 @@ DESIGN.md §8):
 from repro.telemetry.events import (
     CC_EVENTS,
     CP_ECN_MARK,
+    FAULT_CLEAR,
+    FAULT_CNP_DELAY,
+    FAULT_CNP_DROP,
+    FAULT_INJECT,
+    FAULT_RECOVERED,
     FULL_EVENTS,
     LEVELS,
     NIC_FLOW_FAILED,
@@ -39,6 +44,9 @@ from repro.telemetry.events import (
     SAMPLE_QUEUE,
     SAMPLE_RATE,
     TRACE_SCHEMA,
+    WATCHDOG_CYCLE,
+    WATCHDOG_SCAN,
+    WATCHDOG_STALL,
     validate_event,
 )
 from repro.telemetry.metrics import (
@@ -65,6 +73,11 @@ __all__ = [
     "CP_ECN_MARK",
     "Counter",
     "DEFAULT_QUEUE_BUCKETS",
+    "FAULT_CLEAR",
+    "FAULT_CNP_DELAY",
+    "FAULT_CNP_DROP",
+    "FAULT_INJECT",
+    "FAULT_RECOVERED",
     "FULL_EVENTS",
     "Gauge",
     "Histogram",
@@ -93,6 +106,9 @@ __all__ = [
     "TelemetrySpec",
     "TraceSink",
     "Tracer",
+    "WATCHDOG_CYCLE",
+    "WATCHDOG_SCAN",
+    "WATCHDOG_STALL",
     "collect_network",
     "validate_event",
 ]

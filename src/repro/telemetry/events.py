@@ -29,6 +29,14 @@ event type                level  meaning
 ``nic.flow_failed``       cc     QP exhausted its retry budget
 ``sample.queue``          full   periodic egress-queue depth sample
 ``sample.rate``           full   periodic per-flow goodput sample
+``fault.inject``          cc     a scripted fault window opened
+``fault.clear``           cc     a scripted fault window closed
+``fault.cnp_drop``        cc     CNP lost to an injected reverse-path fault
+``fault.cnp_delay``       full   CNP delayed by an injected impairment
+``fault.recovered``       cc     flow goodput back to target after a fault
+``watchdog.cycle``        cc     pause wait-for graph contains a cycle
+``watchdog.stall``        cc     no delivery progress despite backlog
+``watchdog.scan``         full   periodic watchdog sweep (edge count)
 ========================  =====  ==========================================
 
 Levels nest: ``off`` < ``cc`` < ``full``.  ``cc`` carries only the
@@ -56,6 +64,14 @@ NIC_RTO = "nic.rto"
 NIC_FLOW_FAILED = "nic.flow_failed"
 SAMPLE_QUEUE = "sample.queue"
 SAMPLE_RATE = "sample.rate"
+FAULT_INJECT = "fault.inject"
+FAULT_CLEAR = "fault.clear"
+FAULT_CNP_DROP = "fault.cnp_drop"
+FAULT_CNP_DELAY = "fault.cnp_delay"
+FAULT_RECOVERED = "fault.recovered"
+WATCHDOG_CYCLE = "watchdog.cycle"
+WATCHDOG_STALL = "watchdog.stall"
+WATCHDOG_SCAN = "watchdog.scan"
 
 # --- levels ----------------------------------------------------------------
 
@@ -75,12 +91,25 @@ CC_EVENTS = frozenset(
         PKT_DROP,
         NIC_RTO,
         NIC_FLOW_FAILED,
+        FAULT_INJECT,
+        FAULT_CLEAR,
+        FAULT_CNP_DROP,
+        FAULT_RECOVERED,
+        WATCHDOG_CYCLE,
+        WATCHDOG_STALL,
     }
 )
 
 #: high-frequency events only carried at the ``full`` level
 FULL_EVENTS = frozenset(
-    {CP_ECN_MARK, NP_CNP_COALESCED, SAMPLE_QUEUE, SAMPLE_RATE}
+    {
+        CP_ECN_MARK,
+        NP_CNP_COALESCED,
+        SAMPLE_QUEUE,
+        SAMPLE_RATE,
+        FAULT_CNP_DELAY,
+        WATCHDOG_SCAN,
+    }
 )
 
 #: events eligible for 1-in-N stride sampling.  Control-plane events are
@@ -121,10 +150,18 @@ TRACE_SCHEMA: Dict[str, Tuple[str, ...]] = {
     NIC_FLOW_FAILED: ("flow",),
     SAMPLE_QUEUE: ("port", "queue_bytes"),
     SAMPLE_RATE: ("flow", "rate_bps"),
+    FAULT_INJECT: ("kind", "target"),
+    FAULT_CLEAR: ("kind", "target"),
+    FAULT_CNP_DROP: ("flow",),
+    FAULT_CNP_DELAY: ("flow", "delay_ns"),
+    FAULT_RECOVERED: ("flow", "recover_ns"),
+    WATCHDOG_CYCLE: ("size", "members"),
+    WATCHDOG_STALL: ("ticks",),
+    WATCHDOG_SCAN: ("edges",),
 }
 
 #: legal ``reason`` values of ``pkt.drop`` events
-DROP_REASONS = ("buffer_full", "egress_cap", "corrupt")
+DROP_REASONS = ("buffer_full", "egress_cap", "corrupt", "link_down")
 
 
 def validate_event(event: Mapping[str, Any]) -> List[str]:

@@ -51,3 +51,40 @@ class TestDispatch:
         monkeypatch.delenv("REPRO_SCALE", raising=False)
         assert main(["tab14", "--scale", "full"]) == 0
         assert os.environ["REPRO_SCALE"] == "full"
+
+
+class TestFaultCommands:
+    def test_faults_list(self, capsys):
+        assert main(["faults", "list"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("link_flap", "pause_storm", "cnp_impairment"):
+            assert kind in out
+
+    def test_faults_example_is_a_loadable_plan(self, capsys):
+        import json
+
+        from repro.faults import FaultPlan
+
+        assert main(["faults", "example"]) == 0
+        plan = FaultPlan.from_json(json.loads(capsys.readouterr().out))
+        assert len(plan.injectors) == 2
+        assert plan.watchdog is not None
+
+    def test_run_named_scenario_with_plan(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import json
+
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        plan_file = tmp_path / "plan.json"
+        assert main(["faults", "example"]) == 0
+        plan_file.write_text(capsys.readouterr().out)
+        assert main(["run", "storm", "--faults", str(plan_file)]) == 0
+        out = capsys.readouterr().out
+        assert "feeder" in out and "victim" in out
+
+    def test_bad_plan_file_is_reported(self, capsys, tmp_path):
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text('{"injectors": [{"kind": "gremlin"}]}')
+        assert main(["run", "storm", "--faults", str(plan_file)]) == 2
+        assert "bad fault plan" in capsys.readouterr().err

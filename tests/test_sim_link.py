@@ -137,6 +137,116 @@ class TestPause:
         assert port_a.can_send(3)
 
 
+class TestPausedAccounting:
+    """total_paused_ns edge cases (the cascade-damage metric)."""
+
+    def test_counts_closed_pause_window(self):
+        engine, _, _, port_a, _ = make_pair()
+        port_a.set_paused(0, True)
+        engine.run_until(1_000)
+        port_a.set_paused(0, False)
+        assert port_a.total_paused_ns(0) == 1_000
+
+    def test_open_pause_counts_up_to_now(self):
+        """A pause still open at sim end must count to the clock."""
+        engine, _, _, port_a, _ = make_pair()
+        engine.run_until(200)
+        port_a.set_paused(0, True)
+        engine.run_until(1_700)
+        assert port_a.total_paused_ns(0) == 1_500
+
+    def test_repeated_pause_refresh_does_not_reset_start(self):
+        """PFC refreshes re-assert PAUSE; the window must not restart."""
+        engine, _, _, port_a, _ = make_pair()
+        port_a.set_paused(0, True)
+        engine.run_until(400)
+        port_a.set_paused(0, True)  # refresh mid-window
+        engine.run_until(900)
+        port_a.set_paused(0, False)
+        assert port_a.total_paused_ns(0) == 900
+
+    def test_resume_without_pause_is_harmless(self):
+        engine, _, _, port_a, _ = make_pair()
+        engine.run_until(300)
+        port_a.set_paused(0, False)
+        assert port_a.total_paused_ns(0) == 0
+        assert port_a.can_send(0)
+
+    def test_per_priority_isolation(self):
+        engine, _, _, port_a, _ = make_pair()
+        port_a.set_paused(3, True)
+        engine.run_until(600)
+        port_a.set_paused(3, False)
+        assert port_a.total_paused_ns(3) == 600
+        assert port_a.total_paused_ns(0) == 0
+
+    def test_two_windows_accumulate(self):
+        engine, _, _, port_a, _ = make_pair()
+        port_a.set_paused(0, True)
+        engine.run_until(100)
+        port_a.set_paused(0, False)
+        engine.run_until(500)
+        port_a.set_paused(0, True)
+        engine.run_until(800)
+        port_a.set_paused(0, False)
+        assert port_a.total_paused_ns(0) == 400
+
+
+class TestFaultHooks:
+    """set_link_up / set_rate (the LinkFlap and SlowReceiver hooks)."""
+
+    def test_down_link_starts_nothing(self):
+        engine, a, b, port_a, _ = make_pair()
+        port_a.set_link_up(False)
+        a.push(Packet(KIND_DATA, size=1000))
+        engine.run()
+        assert b.received == []
+        assert port_a.link_down_drops == 0  # never started, nothing lost
+
+    def test_frame_mid_serialization_is_lost(self):
+        engine, a, b, port_a, _ = make_pair()
+        a.push(Packet(KIND_DATA, size=1000))
+        engine.run_until(100)  # mid-serialization
+        port_a.set_link_up(False)
+        engine.run()
+        assert b.received == []
+        assert port_a.link_down_drops == 1
+
+    def test_up_restarts_transmission(self):
+        engine, a, b, port_a, _ = make_pair()
+        port_a.set_link_up(False)
+        a.push(Packet(KIND_DATA, size=1000))
+        engine.run()
+        port_a.set_link_up(True)
+        engine.run()
+        assert len(b.received) == 1
+
+    def test_set_link_up_is_idempotent(self):
+        engine, a, b, port_a, _ = make_pair()
+        port_a.set_link_up(True)  # already up: no-op, no notify loop
+        a.push(Packet(KIND_DATA, size=1000))
+        engine.run()
+        assert len(b.received) == 1
+
+    def test_set_rate_applies_to_next_frame(self):
+        engine, a, b, port_a, _ = make_pair()  # 40G: 200ns/1000B
+        a.push(Packet(KIND_DATA, size=1000))
+        a.push(Packet(KIND_DATA, size=1000))
+        engine.run_until(100)  # first frame in flight
+        port_a.set_rate(units.gbps(20))
+        engine.run()
+        times = [t for t, _ in b.received]
+        # first keeps its 200ns schedule; second serializes 400ns
+        assert times == [700, 1_100]
+
+    def test_set_rate_rejects_nonpositive(self):
+        _, _, _, port_a, _ = make_pair()
+        with pytest.raises(ValueError):
+            port_a.set_rate(0)
+        with pytest.raises(ValueError):
+            port_a.set_rate(-1)
+
+
 class TestControlBypass:
     def test_control_frame_jumps_queue(self):
         engine, a, b, port_a, _ = make_pair()
