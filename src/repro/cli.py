@@ -24,6 +24,12 @@ Fault injection (see DESIGN.md §9)::
     python -m repro run storm --faults plan.json   # scenario under faults
     python -m repro trace storm --faults plan.json # ... with tracing on
 
+Hardened execution (see DESIGN.md §10)::
+
+    python -m repro run chaos --invariants strict  # abort on 1st violation
+    python -m repro fig16 --timeout 300            # per-cell budget (s)
+    python -m repro fig16 --resume                 # finish interrupted sweep
+
 Each command prints the same rows the corresponding benchmark emits.
 The dispatch table is :data:`repro.runner.REGISTRY`, populated by
 :mod:`repro.experiments.catalog`; ``--jobs`` / ``--no-cache`` set the
@@ -39,8 +45,10 @@ import sys
 from typing import Dict, Optional, Sequence
 
 import repro.experiments.catalog  # noqa: F401  (populates REGISTRY)
+from repro.invariants import MODES
 from repro.runner import JOBS_ENV, REGISTRY, SCALE_ENV, SCENARIOS, format_table
 from repro.runner.cache import CACHE_ENV
+from repro.runner.resilience import RESUME_ENV, TIMEOUT_ENV
 from repro.runner.scale import SCALES
 
 #: compat view of the registry: id -> (runner, description)
@@ -106,6 +114,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PLAN.json",
         help="overlay a fault plan when running a named scenario",
     )
+    parser.add_argument(
+        "--invariants",
+        choices=MODES,
+        default=None,
+        help="run under the invariant guard (named scenarios; 'strict' "
+        "aborts on the first violation, 'report' collects them)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted sweep from its checkpoint "
+        "(sets REPRO_RESUME)",
+    )
+    parser.add_argument(
+        "--timeout",
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget, or 'off' (sets REPRO_RUN_TIMEOUT; "
+        "default scales with REPRO_SCALE)",
+    )
     return parser
 
 
@@ -137,6 +165,13 @@ def _telemetry_parser(prog: str, description: str) -> argparse.ArgumentParser:
         metavar="PLAN.json",
         help="overlay a fault plan (see 'python -m repro faults example')",
     )
+    parser.add_argument(
+        "--invariants",
+        choices=MODES,
+        default=None,
+        help="run under the invariant guard ('strict' aborts on the "
+        "first violation, 'report' collects them)",
+    )
     return parser
 
 
@@ -163,6 +198,15 @@ def _apply_fault_plan(scenario, path: Optional[str]):
     if plan is None:
         return None
     return dataclasses.replace(scenario, faults=plan)
+
+
+def _apply_invariants(scenario, mode: Optional[str]):
+    """Overlay ``--invariants <mode>`` onto a scenario."""
+    if mode is None:
+        return scenario
+    from repro.invariants import InvariantConfig
+
+    return dataclasses.replace(scenario, invariants=InvariantConfig(mode=mode))
 
 
 def _build_named_scenario(scenario_id: str):
@@ -222,9 +266,11 @@ def trace_main(argv: Sequence[str]) -> int:
         scenario = _apply_fault_plan(scenario, args.faults)
     if scenario is None:
         return 2
+    scenario = _apply_invariants(scenario, args.invariants)
 
     import json
 
+    from repro.invariants import InvariantViolation
     from repro.runner import run_scenario_inline
     from repro.telemetry import Telemetry, TelemetrySpec
 
@@ -238,8 +284,13 @@ def trace_main(argv: Sequence[str]) -> int:
     )
     scenario = dataclasses.replace(scenario, telemetry=spec)
     telemetry = Telemetry.from_spec(spec, seed=args.seed)
-    result, _ = run_scenario_inline(scenario, args.seed, telemetry=telemetry)
-    telemetry.close()
+    try:
+        result, _ = run_scenario_inline(scenario, args.seed, telemetry=telemetry)
+    except InvariantViolation as exc:
+        print(f"invariant violation: {exc}", file=sys.stderr)
+        return 3
+    finally:
+        telemetry.close()
 
     counts = sorted(telemetry.trace_counts().items())
     summary_rows = [[etype, count] for etype, count in counts]
@@ -273,12 +324,18 @@ def profile_main(argv: Sequence[str]) -> int:
         scenario = _apply_fault_plan(scenario, args.faults)
     if scenario is None:
         return 2
+    scenario = _apply_invariants(scenario, args.invariants)
 
+    from repro.invariants import InvariantViolation
     from repro.runner import run_scenario_inline
     from repro.telemetry import SchedulerProfiler
 
     profiler = SchedulerProfiler()
-    result, _ = run_scenario_inline(scenario, args.seed, profiler=profiler)
+    try:
+        result, _ = run_scenario_inline(scenario, args.seed, profiler=profiler)
+    except InvariantViolation as exc:
+        print(f"invariant violation: {exc}", file=sys.stderr)
+        return 3
     print(f"=== profile: {scenario.label or args.scenario} ===")
     print(profiler.table(limit=args.limit))
     print()
@@ -346,13 +403,26 @@ def run_scenario_main(scenario_id: str, args) -> int:
         scenario = _apply_fault_plan(scenario, getattr(args, "faults", None))
     if scenario is None:
         return 2
+    scenario = _apply_invariants(scenario, getattr(args, "invariants", None))
 
+    from repro.invariants import InvariantViolation
     from repro.runner import run_scenario_inline
 
     seed = getattr(args, "seed", 0) or 0
-    result, _ = run_scenario_inline(scenario, seed)
+    try:
+        result, _ = run_scenario_inline(scenario, seed)
+    except InvariantViolation as exc:
+        print(f"invariant violation: {exc}", file=sys.stderr)
+        return 3
     print(f"=== scenario {scenario_id}: {scenario.label or scenario_id} ===")
     print(result.table())
+    report = result.invariant_report
+    if report:
+        print(
+            f"invariants[{report.get('mode', '-')}]: "
+            f"{report.get('checks', 0)} checks, "
+            f"{report.get('violation_count', 0)} violations"
+        )
     return 0
 
 
@@ -378,6 +448,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         os.environ[JOBS_ENV] = str(args.jobs)
     if args.no_cache:
         os.environ[CACHE_ENV] = "off"
+    if args.resume:
+        os.environ[RESUME_ENV] = "on"
+    if args.timeout is not None:
+        os.environ[TIMEOUT_ENV] = args.timeout
     experiment_id = args.experiment
     if experiment_id == "run":
         if args.extra is None:

@@ -85,6 +85,9 @@ class ReactionPoint:
         self.flow_id = flow_id
         self.component = component
         self.tracer = None
+        #: invariant guard (repro.invariants), attached by the Network;
+        #: None keeps every update site to a single attribute test
+        self.guard = None
 
         self.rc_bps = line_rate_bps  # current rate
         self.rt_bps = line_rate_bps  # target rate
@@ -148,6 +151,8 @@ class ReactionPoint:
         self.timer_count = 0
         self._bytes_toward_event = 0
         self._increase_timer.stop()
+        if self.guard is not None:
+            self.guard.on_rp_update(self, "reset")
         self._notify_rate()
 
     def seed_rate(self, rate_bps: float) -> None:
@@ -167,6 +172,8 @@ class ReactionPoint:
         self._alpha_stamp_ns = self.engine.now
         if self.active:
             self._increase_timer.reset()
+        if self.guard is not None:
+            self.guard.on_rp_update(self, "seed")
         self._notify_rate()
 
     # --- inputs from the NIC --------------------------------------------------
@@ -203,6 +210,8 @@ class ReactionPoint:
                 rt_bps=self.rt_bps,
                 alpha=self._alpha,
             )
+        if self.guard is not None:
+            self.guard.on_rp_update(self, "cut")
         self._notify_rate()
 
     def on_bytes_sent(self, nbytes: int) -> None:
@@ -255,6 +264,8 @@ class ReactionPoint:
             # Fully recovered: hardware releases the rate limiter; we
             # stop generating timer events until the next CNP.
             self._increase_timer.stop()
+        if self.guard is not None:
+            self.guard.on_rp_update(self, "increase")
         self._notify_rate()
 
     def _apply_alpha_decay(self) -> None:

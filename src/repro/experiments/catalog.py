@@ -283,3 +283,10 @@ def storm_dcqcn_scenario():
     from repro.experiments.pfc_pathologies import pause_storm_scenario
 
     return pause_storm_scenario("dcqcn")
+
+
+@scenario("chaos-mid", "mid-intensity storm+flap chaos run (the CI invariant gate)")
+def chaos_named_scenario():
+    from repro.experiments.chaos import chaos_scenario
+
+    return chaos_scenario(0.5)

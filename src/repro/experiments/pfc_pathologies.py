@@ -25,6 +25,7 @@ cores (``REPRO_JOBS``) and hit the result cache on repeat runs.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -154,8 +155,10 @@ class VictimFlowResult:
         return percentile(self.victim_bps[t3_senders], 50) / 1e9
 
     def table(self) -> str:
+        # a point whose every repetition failed (timeout/crash) has no
+        # samples to summarize — print n/a rather than crash the table
         rows = [
-            [n, f"{self.median_gbps(n):.2f}"]
+            [n, f"{self.median_gbps(n):.2f}" if self.victim_bps[n] else "n/a"]
             for n in sorted(self.victim_bps)
         ]
         return common.format_table(
@@ -247,6 +250,11 @@ def run_victim_flow(
         for count in t3_sender_counts
     }
     sweep = run_sweep("t3_senders", scenarios, seeds)
+    if sweep.total_failures():
+        warnings.warn(
+            f"{sweep.total_failures()} of the victim-flow repetitions "
+            "failed (timeout/crash); medians cover the survivors"
+        )
     result = VictimFlowResult(
         cc=cc, repetitions=repetitions, duration_ms=duration_ns / 1e6
     )

@@ -26,7 +26,7 @@ The watchdog scans the live network every ``scan_ns``:
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Any, Dict, List, Set
 
 from repro.faults.plan import WatchdogConfig
 from repro.telemetry import events as trace_events
@@ -51,6 +51,15 @@ class DeadlockWatchdog:
         self._stall_ticks = 0
         self._last_delivered = -1
         net.engine.schedule(config.scan_ns, self._scan)
+
+    def findings(self) -> Dict[str, Any]:
+        """JSON summary for ``RunResult.invariant_report['watchdog']``."""
+        return {
+            "scans": self.scans,
+            "cycles": self.cycles_found,
+            "stalls": self.stalls_flagged,
+            "last_cycle": list(self.last_cycle),
+        }
 
     # --- graph ------------------------------------------------------------
 

@@ -8,6 +8,10 @@ The pieces (see DESIGN.md §4):
   processes (``REPRO_JOBS``), input-order results, serial fallback.
 * :mod:`repro.runner.cache` — content-hash result caching under
   ``results/.cache/`` (``REPRO_CACHE``).
+* :mod:`repro.runner.resilience` — execution hardening policy: run
+  timeouts (``REPRO_RUN_TIMEOUT``), bounded retry (``REPRO_RETRIES``)
+  and sweep checkpoint/resume (``REPRO_CHECKPOINT`` /
+  ``REPRO_RESUME``) under ``results/.checkpoints/``.
 * :mod:`repro.runner.scenario` — declarative :class:`Scenario` /
   :class:`FlowSpec` specs and the generic scenario cell.
 * :mod:`repro.runner.results` — JSON-serializable :class:`RunResult`
@@ -38,7 +42,23 @@ from repro.runner.registry import (
     ScenarioRegistry,
     experiment,
 )
-from repro.runner.results import RunResult, SweepPoint, SweepResult, format_table
+from repro.runner.resilience import (
+    CHECKPOINT_ENV,
+    RESUME_ENV,
+    RETRIES_ENV,
+    TIMEOUT_ENV,
+    RetryPolicy,
+    SweepCheckpoint,
+    checkpoints_dir,
+    default_timeout_s,
+)
+from repro.runner.results import (
+    RunFailure,
+    RunResult,
+    SweepPoint,
+    SweepResult,
+    format_table,
+)
 from repro.runner.scale import SCALE_ENV, derive_seed, pick, seeds_for
 from repro.runner.scenario import (
     FlowSpec,
@@ -51,6 +71,7 @@ from repro.runner.scenario import (
 )
 
 __all__ = [
+    "CHECKPOINT_ENV",
     "Cell",
     "ExecutionStats",
     "Experiment",
@@ -59,14 +80,22 @@ __all__ = [
     "JOBS_ENV",
     "NamedScenario",
     "REGISTRY",
+    "RESUME_ENV",
+    "RETRIES_ENV",
+    "RetryPolicy",
+    "RunFailure",
     "RunResult",
     "SCALE_ENV",
     "SCENARIOS",
     "Scenario",
     "ScenarioRegistry",
+    "SweepCheckpoint",
     "SweepPoint",
     "SweepResult",
+    "TIMEOUT_ENV",
+    "checkpoints_dir",
     "default_jobs",
+    "default_timeout_s",
     "derive_seed",
     "execute",
     "experiment",

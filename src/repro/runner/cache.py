@@ -20,6 +20,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Mapping, Optional
 
@@ -90,21 +91,37 @@ def load(fn: str, kwargs: Mapping[str, Any]) -> Any:
         return MISS
     try:
         return json.loads(path.read_text())["result"]
-    except (json.JSONDecodeError, KeyError, OSError):
+    except (json.JSONDecodeError, KeyError):
+        warnings.warn(f"discarding corrupt cache entry {path.name}", stacklevel=2)
         return MISS  # corrupt or half-written entry: recompute
+    except OSError:
+        return MISS  # vanished or unreadable: recompute
 
 
-def store(fn: str, kwargs: Mapping[str, Any], result: Any) -> Path:
-    """Persist one cell's result atomically; returns the path written."""
+def store(fn: str, kwargs: Mapping[str, Any], result: Any) -> Optional[Path]:
+    """Persist one cell's result atomically; returns the path written.
+
+    The cache is an optimization, never a correctness dependency: a
+    result that cannot be serialized or written is computed-but-not
+    -cached — one warning, ``None`` returned, and the run goes on.
+    """
     path = cache_dir() / f"{cell_key(fn, kwargs)}.json"
-    payload = json.dumps({"fn": fn, "kwargs": kwargs, "result": result})
-    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
     try:
+        payload = json.dumps({"fn": fn, "kwargs": kwargs, "result": result})
+    except (TypeError, ValueError) as exc:
+        warnings.warn(f"cache store skipped for {fn}: {exc}", stacklevel=2)
+        return None
+    tmp = None
+    try:
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         with os.fdopen(fd, "w") as handle:
             handle.write(payload)
         os.replace(tmp, path)
-    except BaseException:
-        if os.path.exists(tmp):
+        tmp = None
+    except OSError as exc:
+        warnings.warn(f"cache store failed for {fn}: {exc}", stacklevel=2)
+        return None
+    finally:
+        if tmp is not None and os.path.exists(tmp):
             os.unlink(tmp)
-        raise
     return path

@@ -11,6 +11,26 @@ Results are normalized through a JSON round-trip before being
 returned, so a freshly computed value and a cache hit are exactly the
 same Python object shape (lists, not tuples; plain dicts; floats that
 survived ``repr`` round-tripping).
+
+The executor is *hardened* (see :mod:`repro.runner.resilience`):
+
+* every cell runs under a wall-clock timeout scaled by ``REPRO_SCALE``
+  (enforced when cells run in worker processes, ``jobs > 1``);
+* a worker that dies (OOM kill, segfault, ``os._exit``) breaks only
+  its own cell — the pool is rebuilt and the other in-flight cells
+  re-run without being charged an attempt;
+* failed cells retry with exponential backoff up to
+  :class:`~repro.runner.resilience.RetryPolicy` attempts;
+* with ``collect_failures=True`` a cell that still fails becomes a
+  :class:`~repro.runner.results.RunFailure` in the returned list
+  instead of aborting the batch — a sweep always comes back complete;
+* completed cells are journalled to a sweep checkpoint so an
+  interrupted sweep can ``--resume`` and execute only missing cells.
+
+Crash attribution: a pool breakage with several cells in flight has an
+unknown culprit, so every in-flight cell becomes a *suspect* and is
+re-run one at a time — a solo crash is proof of guilt (the attempt is
+charged), a solo completion proof of innocence.
 """
 
 from __future__ import annotations
@@ -18,14 +38,33 @@ from __future__ import annotations
 import importlib
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Iterable, List, Mapping, Optional
+from typing import Any, Deque, Dict, Iterable, List, Mapping, Optional
 
+from repro.invariants import InvariantViolation
 from repro.runner import cache as result_cache
+from repro.runner.resilience import (
+    RetryPolicy,
+    SweepCheckpoint,
+    checkpoint_enabled,
+    default_timeout_s,
+    resume_enabled,
+)
+from repro.runner.results import RunFailure
 
 #: environment variable selecting worker-process count ("auto" = cores)
 JOBS_ENV = "REPRO_JOBS"
+
+#: sentinel: "caller did not pass a timeout, use the env/scale policy"
+_UNSET = object()
+
+#: poll granularity of the parallel wait loop (seconds); deadlines are
+#: checked at least this often even when nothing completes
+_POLL_S = 0.25
 
 
 @dataclass(frozen=True)
@@ -49,6 +88,9 @@ class ExecutionStats:
     computed: int
     cached: int
     jobs: int
+    failed: int = 0
+    resumed: int = 0
+    retries: int = 0
 
 
 #: stats of the most recent :func:`execute` call (for tests/inspection)
@@ -88,16 +130,76 @@ def call_cell(fn_path: str, kwargs: Mapping[str, Any]) -> Any:
     return resolve(fn_path)(**dict(kwargs))
 
 
+class _Task:
+    """Mutable per-cell execution state inside one :func:`execute`."""
+
+    __slots__ = (
+        "index", "attempts", "not_before", "deadline", "started", "elapsed", "solo",
+    )
+
+    def __init__(self, index: int):
+        self.index = index
+        self.attempts = 0  # executions charged to this cell
+        self.not_before = 0.0  # monotonic gate for backoff
+        self.deadline: Optional[float] = None
+        self.started = 0.0  # monotonic submission time of this attempt
+        self.elapsed = 0.0  # wall-clock spent across charged attempts
+        self.solo = False  # run alone for crash attribution
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now* — its workers may be hung or dead."""
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        proc.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _failure(cell: Cell, error: str, message: str, task: _Task) -> RunFailure:
+    return RunFailure(
+        error=error,
+        message=message,
+        fn=cell.fn,
+        kwargs=dict(cell.kwargs),
+        attempts=max(task.attempts, 1),
+        duration_s=round(task.elapsed, 3),
+    )
+
+
 def execute(
     cells: Iterable[Cell],
     jobs: Optional[int] = None,
     cache: Optional[bool] = None,
+    *,
+    timeout_s: Any = _UNSET,
+    retry: Optional[RetryPolicy] = None,
+    collect_failures: bool = False,
+    checkpoint: Optional[SweepCheckpoint] = None,
+    resume: Optional[bool] = None,
 ) -> List[Any]:
     """Run every cell; results come back in input order.
 
     ``jobs`` / ``cache`` default to the ``REPRO_JOBS`` / ``REPRO_CACHE``
     environment policy.  Cache hits skip computation entirely; misses
     are computed (in parallel when ``jobs > 1``) and stored.
+
+    ``timeout_s`` is the per-cell wall-clock budget (default: the
+    ``REPRO_RUN_TIMEOUT`` / ``REPRO_SCALE`` policy; ``None`` disables).
+    ``retry`` bounds re-execution of failed cells (default:
+    ``REPRO_RETRIES`` policy).
+
+    With ``collect_failures=False`` (the legacy contract) a cell
+    exception propagates immediately, a timeout raises
+    :class:`TimeoutError` and repeated worker death raises
+    :class:`RuntimeError`.  With ``collect_failures=True`` (the sweep
+    contract) every failed cell becomes a
+    :class:`~repro.runner.results.RunFailure` *in its slot* of the
+    returned list, and the call always returns the full batch.
+
+    ``checkpoint`` / ``resume`` control the sweep journal: a checkpoint
+    is kept by default (``REPRO_CHECKPOINT``) and deleted on full
+    success, so an interrupted batch leaves its completed cells behind;
+    ``resume`` (default: ``REPRO_RESUME``) pre-fills journalled results
+    and executes only the missing cells.
     """
     global LAST_STATS
     cells = list(cells)
@@ -105,40 +207,279 @@ def execute(
     if n_jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {n_jobs}")
     use_cache = result_cache.enabled() if cache is None else cache
+    timeout = default_timeout_s() if timeout_s is _UNSET else timeout_s
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout_s must be positive or None, got {timeout}")
+    policy = retry if retry is not None else RetryPolicy.from_env()
+    do_resume = resume_enabled() if resume is None else resume
+    if checkpoint is None and (checkpoint_enabled() or do_resume):
+        checkpoint = SweepCheckpoint(cells)
 
     results: List[Any] = [None] * len(cells)
+    stats = ExecutionStats(total=len(cells), computed=0, cached=0, jobs=n_jobs)
+
+    resolved = [False] * len(cells)
+    if checkpoint is not None and do_resume:
+        journalled = checkpoint.load()
+        for index in range(len(cells)):
+            token = checkpoint.tokens[index]
+            if token in journalled:
+                results[index] = journalled[token]
+                resolved[index] = True
+                stats.resumed += 1
+
     pending: List[int] = []
     for index, cell in enumerate(cells):
+        if resolved[index]:
+            continue
         if use_cache:
             hit = result_cache.load(cell.fn, cell.kwargs)
             if hit is not result_cache.MISS:
                 results[index] = hit
+                stats.cached += 1
                 continue
         pending.append(index)
+    stats.computed = len(pending)
+
+    def finish(index: int, value: Any) -> None:
+        """JSON-normalize, cache, journal one successfully computed cell."""
+        value = json.loads(json.dumps(value))
+        results[index] = value
+        if use_cache:
+            result_cache.store(cells[index].fn, cells[index].kwargs, value)
+        if checkpoint is not None:
+            checkpoint.record(checkpoint.tokens[index], value)
+
+    def fail(index: int, failure: RunFailure) -> None:
+        results[index] = failure
+        stats.failed += 1
+        if checkpoint is not None:
+            checkpoint.record_failure(checkpoint.tokens[index], failure.to_json())
 
     if pending:
         if n_jobs > 1 and len(pending) > 1:
-            workers = min(n_jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(call_cell, cells[i].fn, dict(cells[i].kwargs)): i
-                    for i in pending
-                }
-                for future in as_completed(futures):
-                    results[futures[future]] = future.result()
+            _execute_parallel(
+                cells, pending, min(n_jobs, len(pending)),
+                timeout, policy, collect_failures, stats, finish, fail,
+            )
         else:
-            for i in pending:
-                results[i] = call_cell(cells[i].fn, cells[i].kwargs)
-        for i in pending:
-            # normalize exactly as a cache round-trip would
-            results[i] = json.loads(json.dumps(results[i]))
-            if use_cache:
-                result_cache.store(cells[i].fn, cells[i].kwargs, results[i])
+            _execute_serial(
+                cells, pending, policy, collect_failures, stats, finish, fail
+            )
 
-    LAST_STATS = ExecutionStats(
-        total=len(cells),
-        computed=len(pending),
-        cached=len(cells) - len(pending),
-        jobs=n_jobs,
-    )
+    if checkpoint is not None and stats.failed == 0:
+        checkpoint.discard()
+    LAST_STATS = stats
     return results
+
+
+def _execute_serial(cells, pending, policy, collect_failures, stats, finish, fail):
+    """In-process path (``jobs=1``): no timeout/crash isolation, but the
+    same retry and failure-collection semantics as the pool path."""
+    for index in pending:
+        cell = cells[index]
+        task = _Task(index)
+        while True:
+            task.attempts += 1
+            started = time.monotonic()
+            try:
+                finish(index, call_cell(cell.fn, cell.kwargs))
+                break
+            except InvariantViolation as exc:
+                task.elapsed += time.monotonic() - started
+                if not collect_failures:
+                    raise
+                fail(index, _failure(cell, "invariant", str(exc), task))
+                break  # invariant violations are deterministic: never retry
+            except Exception as exc:
+                task.elapsed += time.monotonic() - started
+                if not collect_failures:
+                    raise
+                if task.attempts >= policy.max_attempts:
+                    fail(
+                        index,
+                        _failure(cell, "exception", f"{type(exc).__name__}: {exc}", task),
+                    )
+                    break
+                stats.retries += 1
+                time.sleep(policy.delay_s(task.attempts))
+
+
+def _execute_parallel(
+    cells, pending, workers, timeout, policy, collect_failures, stats, finish, fail
+):
+    """Pool path: sliding-window submission with deadline enforcement,
+    crash attribution and bounded retry.  See the module docstring."""
+    queue: Deque[_Task] = deque(_Task(i) for i in pending)
+    suspects: Deque[_Task] = deque()
+    inflight: Dict[Any, _Task] = {}
+    pool: Optional[ProcessPoolExecutor] = None
+    pool_alive = False
+
+    def ensure_pool():
+        nonlocal pool, pool_alive
+        if not pool_alive:
+            pool = ProcessPoolExecutor(max_workers=workers)
+            pool_alive = True
+        return pool
+
+    def drop_pool():
+        nonlocal pool_alive
+        if pool_alive:
+            _kill_pool(pool)
+        pool_alive = False
+
+    def charge_failure(task: _Task, error: str, message: str, requeue_solo: bool):
+        """One charged failed attempt: retry with backoff or give up."""
+        cell = cells[task.index]
+        if not collect_failures:
+            if error == "timeout":
+                raise TimeoutError(
+                    f"cell {cell.fn} exceeded {timeout}s wall-clock "
+                    f"(attempt {task.attempts})"
+                )
+            if error == "crash" and task.attempts < policy.max_attempts:
+                stats.retries += 1
+                task.not_before = time.monotonic() + policy.delay_s(task.attempts)
+                task.solo = True
+                suspects.append(task)
+                return
+            if error == "crash":
+                raise RuntimeError(
+                    f"cell {cell.fn} killed its worker process "
+                    f"{task.attempts} time(s): {message}"
+                )
+            raise AssertionError(f"unreachable legacy error kind {error!r}")
+        if error == "invariant" or task.attempts >= policy.max_attempts:
+            fail(task.index, _failure(cell, error, message, task))
+            return
+        stats.retries += 1
+        task.not_before = time.monotonic() + policy.delay_s(task.attempts)
+        if requeue_solo:
+            task.solo = True
+            suspects.append(task)
+        else:
+            queue.append(task)
+
+    try:
+        while queue or suspects or inflight:
+            now = time.monotonic()
+            # Suspects run strictly alone: any pool breakage is then
+            # attributable to the one cell in flight.
+            window = 1 if (suspects or any(t.solo for t in inflight.values())) else workers
+            while len(inflight) < window:
+                source = suspects if suspects else queue
+                if suspects and inflight:
+                    break  # wait for the pool to drain before going solo
+                if not source:
+                    break
+                task = source[0]
+                if task.not_before > now:
+                    break  # head is backing off; keep order, wait it out
+                source.popleft()
+                cell = cells[task.index]
+                task.attempts += 1
+                try:
+                    future = ensure_pool().submit(call_cell, cell.fn, dict(cell.kwargs))
+                except BrokenProcessPool:
+                    task.attempts -= 1  # submission never ran: not charged
+                    drop_pool()
+                    source.appendleft(task)
+                    continue
+                task.started = time.monotonic()
+                task.deadline = None if timeout is None else task.started + timeout
+                inflight[future] = task
+                if suspects:
+                    break  # one suspect at a time
+
+            if not inflight:
+                gates = [t.not_before for t in (*queue, *suspects)]
+                if gates:
+                    time.sleep(max(0.0, min(gates) - time.monotonic()))
+                continue
+
+            deadlines = [t.deadline for t in inflight.values() if t.deadline]
+            wait_s = _POLL_S
+            if deadlines:
+                wait_s = max(0.0, min(_POLL_S, min(deadlines) - time.monotonic()))
+            done, _ = wait(list(inflight), timeout=wait_s, return_when=FIRST_COMPLETED)
+
+            broke = False
+            for future in done:
+                task = inflight.pop(future)
+                started_solo = task.solo
+                ran_s = time.monotonic() - task.started
+                try:
+                    value = future.result()
+                except InvariantViolation as exc:
+                    if not collect_failures:
+                        raise
+                    task.elapsed += ran_s
+                    charge_failure(task, "invariant", str(exc), started_solo)
+                except BrokenProcessPool as exc:
+                    broke = True
+                    if len(inflight) == 0 and (started_solo or len(done) == 1):
+                        # it was alone in the pool: guilty as charged
+                        task.elapsed += ran_s
+                        charge_failure(task, "crash", str(exc) or "worker died", True)
+                    else:
+                        task.attempts -= 1  # innocent until run solo
+                        task.solo = True
+                        suspects.append(task)
+                except Exception as exc:
+                    if not collect_failures:
+                        raise
+                    task.elapsed += ran_s
+                    charge_failure(
+                        task, "exception", f"{type(exc).__name__}: {exc}", started_solo
+                    )
+                else:
+                    finish(task.index, value)
+
+            if broke:
+                # Everything still in flight died with the pool; none of
+                # it is provably guilty, so re-run each alone, uncharged.
+                for future, task in inflight.items():
+                    task.attempts -= 1
+                    task.solo = True
+                    suspects.append(task)
+                inflight.clear()
+                drop_pool()
+                continue
+
+            now = time.monotonic()
+            expired = [
+                (future, task)
+                for future, task in inflight.items()
+                if task.deadline is not None and now >= task.deadline and not future.done()
+            ]
+            if expired:
+                # The culprits are known exactly; innocents go back to
+                # the FRONT of the queue with no attempt charged.
+                innocents = [
+                    task
+                    for future, task in inflight.items()
+                    if future not in {f for f, _ in expired} and not future.done()
+                ]
+                leftovers = [
+                    (future, task)
+                    for future, task in inflight.items()
+                    if future.done() and (future, task) not in expired
+                ]
+                inflight.clear()
+                drop_pool()
+                for future, task in leftovers:
+                    try:
+                        finish(task.index, future.result())
+                    except Exception:
+                        task.attempts -= 1
+                        queue.appendleft(task)
+                for task in reversed(innocents):
+                    task.attempts -= 1
+                    queue.appendleft(task)
+                for future, task in expired:
+                    task.elapsed += timeout
+                    charge_failure(task, "timeout", f"exceeded {timeout}s", task.solo)
+    finally:
+        if pool_alive:
+            drop_pool()

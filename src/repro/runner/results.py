@@ -11,7 +11,13 @@ exact: a cached table is byte-identical to a freshly computed one.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Mapping, Sequence
+
+#: JSON marker key distinguishing a :class:`RunFailure` from a result
+FAILURE_KIND = "__run_failure__"
+
+#: the failure taxonomy of the hardened executor
+FAILURE_ERRORS = ("timeout", "crash", "exception", "invariant")
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -24,6 +30,60 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
         if index == 0:
             lines.append("  ".join("-" * width for width in widths))
     return "\n".join(lines)
+
+
+@dataclass
+class RunFailure:
+    """One cell that could not produce a result.
+
+    The hardened executor (see :mod:`repro.runner.resilience`) records
+    one of these — instead of aborting the sweep — when a cell times
+    out, its worker dies, it raises, or it trips a strict-mode
+    invariant.  ``attempts`` counts executions actually charged to the
+    cell (collateral pool rebuilds are not charged).
+    """
+
+    error: str  # one of FAILURE_ERRORS
+    message: str
+    fn: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    attempts: int = 1
+    duration_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.error not in FAILURE_ERRORS:
+            raise ValueError(
+                f"error must be one of {FAILURE_ERRORS}, got {self.error!r}"
+            )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            FAILURE_KIND: True,
+            "error": self.error,
+            "message": self.message,
+            "fn": self.fn,
+            "kwargs": dict(self.kwargs),
+            "attempts": self.attempts,
+            "duration_s": self.duration_s,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "RunFailure":
+        return cls(
+            error=data["error"],
+            message=data["message"],
+            fn=data.get("fn", ""),
+            kwargs=dict(data.get("kwargs", {})),
+            attempts=data.get("attempts", 1),
+            duration_s=data.get("duration_s", 0.0),
+        )
+
+    @staticmethod
+    def is_failure(value: Any) -> bool:
+        """True for a :class:`RunFailure` or its JSON form."""
+        if isinstance(value, RunFailure):
+            return True
+        return isinstance(value, Mapping) and value.get(FAILURE_KIND) is True
 
 
 @dataclass
@@ -44,6 +104,10 @@ class RunResult:
     #: "histograms": ...}) under the stable names of
     #: :data:`repro.telemetry.metrics.METRIC_CATALOG`
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: invariant-guard / watchdog findings for this run (empty when the
+    #: scenario carried no :class:`~repro.invariants.InvariantConfig`
+    #: and armed no watchdog); see DESIGN.md §10
+    invariant_report: Dict[str, Any] = field(default_factory=dict)
 
     def throughput_gbps(self, flow: str) -> float:
         return self.flows_bps[flow] / 1e9
@@ -76,6 +140,7 @@ class RunResult:
             "counters": dict(self.counters),
             "samples": {k: list(v) for k, v in self.samples.items()},
             "metrics": self.metrics,
+            "invariant_report": self.invariant_report,
         }
 
     @classmethod
@@ -89,6 +154,7 @@ class RunResult:
             counters=dict(data.get("counters", {})),
             samples={k: list(v) for k, v in data.get("samples", {}).items()},
             metrics=data.get("metrics", {}),
+            invariant_report=data.get("invariant_report", {}),
         )
 
     def table(self) -> str:
@@ -104,6 +170,9 @@ class SweepPoint:
 
     value: Any
     runs: List[RunResult] = field(default_factory=list)
+    #: repetitions that produced no result (timeout / crash / ...);
+    #: a complete point has ``len(runs) + len(failures)`` repetitions
+    failures: List[RunFailure] = field(default_factory=list)
 
     def flow_samples(self, flow: str) -> List[float]:
         """One throughput sample per repetition for ``flow`` (bps)."""
@@ -131,7 +200,11 @@ class SweepResult:
         return {
             "parameter": self.parameter,
             "points": [
-                {"value": p.value, "runs": [r.to_json() for r in p.runs]}
+                {
+                    "value": p.value,
+                    "runs": [r.to_json() for r in p.runs],
+                    "failures": [f.to_json() for f in p.failures],
+                }
                 for p in self.points
             ],
         }
@@ -144,10 +217,17 @@ class SweepResult:
                 SweepPoint(
                     value=p["value"],
                     runs=[RunResult.from_json(r) for r in p["runs"]],
+                    failures=[
+                        RunFailure.from_json(f) for f in p.get("failures", [])
+                    ],
                 )
                 for p in data["points"]
             ],
         )
+
+    def total_failures(self) -> int:
+        """Failed repetitions across every point."""
+        return sum(len(point.failures) for point in self.points)
 
     def table(self, flow: str) -> str:
         """Default rendering: median throughput of ``flow`` per point."""

@@ -28,7 +28,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro import units
 from repro.runner.executor import Cell, execute
-from repro.runner.results import RunResult, SweepPoint, SweepResult
+from repro.runner.results import RunFailure, RunResult, SweepPoint, SweepResult
 from repro.telemetry import Telemetry, TelemetrySpec
 
 #: config dataclasses that may appear in ``topology_kwargs``
@@ -47,6 +47,7 @@ def _config_types() -> Dict[str, type]:
         SlowReceiver,
         WatchdogConfig,
     )
+    from repro.invariants import InvariantConfig
     from repro.sim.nic import NicConfig
     from repro.sim.switch import SwitchConfig
 
@@ -65,6 +66,7 @@ def _config_types() -> Dict[str, type]:
             CnpImpairment,
             SlowReceiver,
             WatchdogConfig,
+            InvariantConfig,
         )
     }
 
@@ -139,6 +141,11 @@ class Scenario:
     #: network is built, so the plan is part of the cell spec — and
     #: therefore of the result-cache content hash
     faults: Optional[Any] = None
+    #: optional invariant-guard request (an
+    #: :class:`~repro.invariants.InvariantConfig`); part of the cell
+    #: spec for the same cache-correctness reason as ``faults`` — a
+    #: strict-mode run and an unguarded run are different cells
+    invariants: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.topology not in TOPOLOGIES:
@@ -159,6 +166,14 @@ class Scenario:
                 raise TypeError(
                     f"faults must be a FaultPlan, got {type(self.faults).__name__}"
                 )
+        if self.invariants is not None:
+            from repro.invariants import InvariantConfig
+
+            if not isinstance(self.invariants, InvariantConfig):
+                raise TypeError(
+                    "invariants must be an InvariantConfig, "
+                    f"got {type(self.invariants).__name__}"
+                )
 
     def spec(self) -> Dict[str, Any]:
         """The JSON-serializable form (cache key + worker transport)."""
@@ -171,6 +186,7 @@ class Scenario:
             "flows": [dataclasses.asdict(flow) for flow in self.flows],
             "telemetry": encode_value(self.telemetry),
             "faults": encode_value(self.faults),
+            "invariants": encode_value(self.invariants),
         }
 
     @classmethod
@@ -184,6 +200,7 @@ class Scenario:
             flows=tuple(FlowSpec(**flow) for flow in data["flows"]),
             telemetry=decode_value(data.get("telemetry")),
             faults=decode_value(data.get("faults")),
+            invariants=decode_value(data.get("invariants")),
         )
 
 
@@ -293,6 +310,14 @@ def run_scenario_inline(
         telemetry = Telemetry.from_spec(scenario.telemetry, seed=seed)
     net, resolve, probes = build_scenario_network(scenario, seed)
     net.attach_telemetry(telemetry)
+    guard = None
+    if scenario.invariants is not None:
+        from repro.invariants import InvariantGuard
+
+        # Before flows are added: add_flow propagates the guard to each
+        # RP, and install() rejects mis-tuned buffer configs up front.
+        guard = InvariantGuard(scenario.invariants, telemetry=telemetry)
+        guard.install(net, horizon_ns=scenario.warmup_ns + scenario.duration_ns)
     if profiler is not None:
         profiler.install(net.engine)
     flows = []
@@ -327,6 +352,12 @@ def run_scenario_inline(
     net.run_for(scenario.duration_ns)
     if fault_runtime is not None:
         fault_runtime.finalize()
+    invariant_report: Dict[str, Any] = {}
+    if guard is not None:
+        guard.finalize()
+        invariant_report = guard.report()
+    if fault_runtime is not None and fault_runtime.watchdog is not None:
+        invariant_report["watchdog"] = fault_runtime.watchdog.findings()
 
     flows_bps = {
         name: (flow.bytes_delivered - before[name]) * 8e9 / scenario.duration_ns
@@ -346,6 +377,7 @@ def run_scenario_inline(
         flows_bps=flows_bps,
         counters=counters,
         metrics=net.metrics_snapshot(),
+        invariant_report=invariant_report,
     )
     return result, net
 
@@ -390,6 +422,12 @@ def run_sweep(
 
     ``seeds`` is either one seed list shared by every point or a
     mapping from sweep value to its own seed list.
+
+    The sweep runs under the hardened executor contract: a cell that
+    times out, crashes its worker or raises (after retries) lands in
+    ``SweepPoint.failures`` instead of aborting the sweep, and
+    completed cells are checkpointed so an interrupted sweep can be
+    resumed (``REPRO_RESUME=on`` / ``repro run ... --resume``).
     """
     cells: List[Cell] = []
     slices: List[Tuple[Any, int]] = []
@@ -399,11 +437,16 @@ def run_sweep(
         slices.append((value, len(point_cells)))
         cells.extend(point_cells)
 
-    values = execute(cells, jobs=jobs, cache=cache)
+    values = execute(cells, jobs=jobs, cache=cache, collect_failures=True)
     result = SweepResult(parameter=parameter)
     cursor = 0
     for value, count in slices:
-        runs = [RunResult.from_json(v) for v in values[cursor : cursor + count]]
+        point = SweepPoint(value=value)
+        for v in values[cursor : cursor + count]:
+            if isinstance(v, RunFailure):
+                point.failures.append(v)
+            else:
+                point.runs.append(RunResult.from_json(v))
         cursor += count
-        result.points.append(SweepPoint(value=value, runs=runs))
+        result.points.append(point)
     return result

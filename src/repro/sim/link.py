@@ -57,6 +57,8 @@ class Port:
         "_control_queue",
         "tx_bytes",
         "tx_packets",
+        "rx_bytes",
+        "lost_bytes",
         "tx_pause_frames",
         "rx_pause_frames",
         "busy_since",
@@ -91,6 +93,11 @@ class Port:
         # counters
         self.tx_bytes = 0
         self.tx_packets = 0
+        # bytes delivered to this port's owner / lost in flight on the
+        # transmit side — together with tx_bytes these close the
+        # per-link conservation relation the invariant guard checks
+        self.rx_bytes = 0
+        self.lost_bytes = 0
         self.tx_pause_frames = 0
         self.rx_pause_frames = 0
         self.busy_since = 0
@@ -225,6 +232,7 @@ class Port:
         if not self.link_up:
             # the cable went dark mid-serialization: the frame is lost
             self.link_down_drops += 1
+            self.lost_bytes += pkt.size
             tracer = self.owner.tracer
             if tracer is not None:
                 tracer.emit(
@@ -237,6 +245,7 @@ class Port:
                 )
         elif self._error_rng is not None and self._error_rng.random() < self.error_rate:
             self.corrupted_frames += 1
+            self.lost_bytes += pkt.size
             tracer = self.owner.tracer
             if tracer is not None:
                 tracer.emit(

@@ -63,6 +63,8 @@ class Network:
         self.flows: List[Flow] = []
         self._next_device_id = 0
         self.telemetry: Optional[Telemetry] = None
+        #: invariant guard (repro.invariants), None when unguarded
+        self.invariant_guard = None
         if telemetry is not None:
             self.attach_telemetry(telemetry)
 
@@ -93,6 +95,24 @@ class Network:
     def tracer(self):
         """The active tracer, or ``None`` when tracing is off."""
         return self.telemetry.tracer if self.telemetry is not None else None
+
+    # --- invariants --------------------------------------------------------------
+
+    def attach_invariants(self, guard):
+        """Bind an :class:`~repro.invariants.InvariantGuard` to this network.
+
+        Mirrors :meth:`attach_telemetry`: the guard is propagated to
+        every existing switch and reaction point, and flows added later
+        inherit it.  Without a guard every hook site stays a single
+        ``is not None`` test.
+        """
+        self.invariant_guard = guard
+        for switch in self.switches:
+            switch.guard = guard
+        for flow in self.flows:
+            if flow.rp is not None:
+                flow.rp.guard = guard
+        return guard
 
     def metrics_snapshot(self) -> dict:
         """Collect fleet-wide metrics into the attached (or a fresh)
@@ -127,6 +147,7 @@ class Network:
             ecmp_salt=self.rng.getrandbits(64),
         )
         switch.tracer = self.tracer
+        switch.guard = self.invariant_guard
         self.switches.append(switch)
         return switch
 
@@ -203,6 +224,7 @@ class Network:
                 component=f"{src.name}.rp",
             )
             rp.tracer = self.tracer
+            rp.guard = self.invariant_guard
             if initial_rate_bps is not None:
                 self.engine.schedule_at(start_ns, rp.seed_rate, initial_rate_bps)
         elif initial_rate_bps is not None:

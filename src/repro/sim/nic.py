@@ -246,6 +246,7 @@ class HostNic(Device):
     # --- receive path -------------------------------------------------------------
 
     def receive(self, pkt: Packet, in_port: Port) -> None:
+        in_port.rx_bytes += pkt.size
         kind = pkt.kind
         if kind == KIND_DATA:
             self._receive_data(pkt)

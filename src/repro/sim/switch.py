@@ -136,6 +136,9 @@ class Switch(Device):
         if seed is None:
             seed = (device_id * 7919 + 13) & 0x7FFFFFFF
         self._marker = RedEcnMarker(self.config.marking, seed=seed)
+        #: invariant guard (repro.invariants), attached by the Network;
+        #: None keeps the dequeue hot path to a single attribute test
+        self.guard = None
         # counters
         self.dropped_packets = 0
         self.dropped_bytes = 0
@@ -206,6 +209,7 @@ class Switch(Device):
     # --- datapath ---------------------------------------------------------------
 
     def receive(self, pkt: Packet, in_port: Port) -> None:
+        in_port.rx_bytes += pkt.size
         kind = pkt.kind
         if kind == KIND_PAUSE or kind == KIND_RESUME:
             if pkt.pause:
@@ -296,6 +300,8 @@ class Switch(Device):
         self.occupied_bytes -= size
         self._egress_bytes[port.index][prio] -= size
         self._ingress_bytes[pkt.ingress_index][prio] -= size
+        if self.guard is not None:
+            self.guard.on_switch_dequeue(self, port.index, pkt)
         self._maybe_resume()
 
     # --- PFC ------------------------------------------------------------------

@@ -37,6 +37,7 @@ event type                level  meaning
 ``watchdog.cycle``        cc     pause wait-for graph contains a cycle
 ``watchdog.stall``        cc     no delivery progress despite backlog
 ``watchdog.scan``         full   periodic watchdog sweep (edge count)
+``invariant.violation``   cc     a simulation invariant check failed
 ========================  =====  ==========================================
 
 Levels nest: ``off`` < ``cc`` < ``full``.  ``cc`` carries only the
@@ -72,6 +73,7 @@ FAULT_RECOVERED = "fault.recovered"
 WATCHDOG_CYCLE = "watchdog.cycle"
 WATCHDOG_STALL = "watchdog.stall"
 WATCHDOG_SCAN = "watchdog.scan"
+INVARIANT_VIOLATION = "invariant.violation"
 
 # --- levels ----------------------------------------------------------------
 
@@ -97,6 +99,7 @@ CC_EVENTS = frozenset(
         FAULT_RECOVERED,
         WATCHDOG_CYCLE,
         WATCHDOG_STALL,
+        INVARIANT_VIOLATION,
     }
 )
 
@@ -158,6 +161,7 @@ TRACE_SCHEMA: Dict[str, Tuple[str, ...]] = {
     WATCHDOG_CYCLE: ("size", "members"),
     WATCHDOG_STALL: ("ticks",),
     WATCHDOG_SCAN: ("edges",),
+    INVARIANT_VIOLATION: ("name", "detail"),
 }
 
 #: legal ``reason`` values of ``pkt.drop`` events

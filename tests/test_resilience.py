@@ -1,0 +1,335 @@
+"""The hardened executor: timeouts, crash recovery, retry, checkpoint/resume."""
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.runner import Cell, RunFailure, execute
+from repro.runner import cache, executor, resilience, scale
+from repro.runner.resilience import RetryPolicy, SweepCheckpoint
+
+#: cheap, importable, pure cell for the happy path (same as test_runner)
+SEEDS_FN = "repro.runner.scale:seeds_for"
+
+HERE = "tests.test_resilience"
+
+
+# --- worker-side cell functions (module-level: workers import them) --------
+
+
+def raising_cell(message="boom"):
+    raise RuntimeError(message)
+
+
+def sleeping_cell(seconds, value):
+    time.sleep(seconds)
+    return value
+
+
+def killer_cell():
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def flaky_cell(marker, value):
+    """Fails once, then succeeds: the transient-failure retry case."""
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("attempted")
+        raise RuntimeError("transient")
+    return value
+
+
+@pytest.fixture
+def isolated_results(tmp_path, monkeypatch):
+    monkeypatch.setenv(cache.RESULTS_ENV, str(tmp_path))
+    monkeypatch.delenv(executor.JOBS_ENV, raising=False)
+    monkeypatch.delenv(cache.CACHE_ENV, raising=False)
+    monkeypatch.delenv(resilience.TIMEOUT_ENV, raising=False)
+    monkeypatch.delenv(resilience.RETRIES_ENV, raising=False)
+    monkeypatch.delenv(resilience.CHECKPOINT_ENV, raising=False)
+    monkeypatch.delenv(resilience.RESUME_ENV, raising=False)
+    monkeypatch.setenv(scale.SCALE_ENV, "smoke")
+    return tmp_path
+
+
+#: a retry policy that keeps failure tests fast
+FAST_NO_RETRY = RetryPolicy(max_attempts=1, backoff_s=0.0)
+FAST_ONE_RETRY = RetryPolicy(max_attempts=2, backoff_s=0.01)
+
+
+class TestTimeoutPolicy:
+    def test_scale_defaults(self, isolated_results, monkeypatch):
+        assert resilience.default_timeout_s() == 120.0
+        monkeypatch.setenv(scale.SCALE_ENV, "quick")
+        assert resilience.default_timeout_s() == 600.0
+        monkeypatch.setenv(scale.SCALE_ENV, "full")
+        assert resilience.default_timeout_s() == 3600.0
+
+    def test_env_override_and_off(self, isolated_results, monkeypatch):
+        monkeypatch.setenv(resilience.TIMEOUT_ENV, "42.5")
+        assert resilience.default_timeout_s() == 42.5
+        monkeypatch.setenv(resilience.TIMEOUT_ENV, "off")
+        assert resilience.default_timeout_s() is None
+
+    def test_bad_values_rejected(self, isolated_results, monkeypatch):
+        monkeypatch.setenv(resilience.TIMEOUT_ENV, "soon")
+        with pytest.raises(ValueError, match="REPRO_RUN_TIMEOUT"):
+            resilience.default_timeout_s()
+        monkeypatch.setenv(resilience.TIMEOUT_ENV, "-3")
+        with pytest.raises(ValueError, match="positive"):
+            resilience.default_timeout_s()
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(backoff_s=1.0, backoff_factor=2.0, max_backoff_s=3.0)
+        assert policy.delay_s(1) == 1.0
+        assert policy.delay_s(2) == 2.0
+        assert policy.delay_s(3) == 3.0  # capped
+        assert policy.delay_s(0) == 0.0
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv(resilience.RETRIES_ENV, "5")
+        assert RetryPolicy.from_env().max_attempts == 5
+        monkeypatch.setenv(resilience.RETRIES_ENV, "zero")
+        with pytest.raises(ValueError, match="REPRO_RETRIES"):
+            RetryPolicy.from_env()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5)
+
+
+class TestRunFailure:
+    def test_json_round_trip(self):
+        failure = RunFailure(
+            error="timeout",
+            message="exceeded 1s",
+            fn=SEEDS_FN,
+            kwargs={"repetitions": 3},
+            attempts=2,
+            duration_s=2.0,
+        )
+        wire = json.loads(json.dumps(failure.to_json()))
+        assert RunFailure.from_json(wire) == failure
+        assert RunFailure.is_failure(failure)
+        assert RunFailure.is_failure(wire)
+        assert not RunFailure.is_failure({"flows_bps": {}})
+
+    def test_error_taxonomy_enforced(self):
+        with pytest.raises(ValueError, match="error"):
+            RunFailure(error="meteor", message="", fn=SEEDS_FN)
+
+
+class TestCheckpoint:
+    def test_record_and_load_successes_only(self, isolated_results):
+        cells = [Cell(SEEDS_FN, {"repetitions": n}) for n in (1, 2, 3)]
+        cp = SweepCheckpoint(cells)
+        cp.record(cp.tokens[0], [11])
+        cp.record_failure(cp.tokens[1], {"error": "timeout"})
+        loaded = cp.load()
+        assert loaded == {cp.tokens[0]: [11]}
+
+    def test_torn_final_line_is_skipped(self, isolated_results):
+        cells = [Cell(SEEDS_FN, {"repetitions": 1})]
+        cp = SweepCheckpoint(cells)
+        cp.record(cp.tokens[0], [7])
+        with open(cp.path, "a") as handle:
+            handle.write('{"cell": "abc", "resu')  # interrupted mid-write
+        assert cp.load() == {cp.tokens[0]: [7]}
+
+    def test_same_cells_same_path_different_cells_different(self, isolated_results):
+        cells_a = [Cell(SEEDS_FN, {"repetitions": 1})]
+        cells_b = [Cell(SEEDS_FN, {"repetitions": 2})]
+        assert SweepCheckpoint(cells_a).path == SweepCheckpoint(cells_a).path
+        assert SweepCheckpoint(cells_a).path != SweepCheckpoint(cells_b).path
+
+    def test_discard(self, isolated_results):
+        cp = SweepCheckpoint([Cell(SEEDS_FN, {"repetitions": 1})])
+        cp.record(cp.tokens[0], [1])
+        assert cp.path.exists()
+        cp.discard()
+        assert not cp.path.exists()
+        cp.discard()  # idempotent
+
+
+class TestHardenedSerial:
+    def test_exception_becomes_run_failure(self, isolated_results):
+        cells = [
+            Cell(SEEDS_FN, {"repetitions": 2}),
+            Cell(f"{HERE}:raising_cell", {"message": "kapow"}),
+            Cell(SEEDS_FN, {"repetitions": 3}),
+        ]
+        results = execute(
+            cells, jobs=1, cache=False, collect_failures=True, retry=FAST_NO_RETRY
+        )
+        assert results[0] == scale.seeds_for(2)
+        assert results[2] == scale.seeds_for(3)
+        failure = results[1]
+        assert isinstance(failure, RunFailure)
+        assert failure.error == "exception"
+        assert "kapow" in failure.message
+        assert executor.LAST_STATS.failed == 1
+
+    def test_transient_failure_retried_to_success(self, isolated_results, tmp_path):
+        marker = str(tmp_path / "flaky-marker")
+        cells = [Cell(f"{HERE}:flaky_cell", {"marker": marker, "value": 99})]
+        results = execute(
+            cells, jobs=1, cache=False, collect_failures=True, retry=FAST_ONE_RETRY
+        )
+        assert results == [99]
+        assert executor.LAST_STATS.retries == 1
+        assert executor.LAST_STATS.failed == 0
+
+    def test_attempts_exhausted_counted(self, isolated_results):
+        cells = [Cell(f"{HERE}:raising_cell", {})]
+        results = execute(
+            cells, jobs=1, cache=False, collect_failures=True, retry=FAST_ONE_RETRY
+        )
+        assert results[0].attempts == 2
+
+    def test_legacy_contract_still_raises(self, isolated_results):
+        with pytest.raises(RuntimeError, match="boom"):
+            execute([Cell(f"{HERE}:raising_cell", {})], jobs=1, cache=False)
+
+
+class TestHardenedParallel:
+    def test_worker_exception_collected_others_match_serial(self, isolated_results):
+        good = [Cell(SEEDS_FN, {"repetitions": n}) for n in (1, 2, 3)]
+        cells = [good[0], Cell(f"{HERE}:raising_cell", {}), good[1], good[2]]
+        parallel = execute(
+            cells, jobs=2, cache=False, collect_failures=True, retry=FAST_NO_RETRY
+        )
+        serial_good = execute(good, jobs=1, cache=False)
+        assert parallel[1].error == "exception"
+        assert [parallel[0], parallel[2], parallel[3]] == serial_good
+
+    def test_timeout_becomes_run_failure(self, isolated_results):
+        cells = [
+            Cell(SEEDS_FN, {"repetitions": 2}),
+            Cell(f"{HERE}:sleeping_cell", {"seconds": 30.0, "value": 1}),
+            Cell(SEEDS_FN, {"repetitions": 4}),
+        ]
+        results = execute(
+            cells,
+            jobs=2,
+            cache=False,
+            timeout_s=1.0,
+            collect_failures=True,
+            retry=FAST_NO_RETRY,
+        )
+        assert results[0] == scale.seeds_for(2)
+        assert results[2] == scale.seeds_for(4)
+        assert isinstance(results[1], RunFailure)
+        assert results[1].error == "timeout"
+        assert results[1].duration_s >= 1.0
+
+    def test_killed_worker_becomes_run_failure(self, isolated_results):
+        good = [Cell(SEEDS_FN, {"repetitions": n}) for n in (1, 2, 3)]
+        cells = [good[0], Cell(f"{HERE}:killer_cell", {}), good[1], good[2]]
+        results = execute(
+            cells, jobs=2, cache=False, collect_failures=True, retry=FAST_NO_RETRY
+        )
+        assert executor.LAST_STATS.failed == 1
+        serial_good = execute(good, jobs=1, cache=False)
+        assert isinstance(results[1], RunFailure)
+        assert results[1].error == "crash"
+        assert [results[0], results[2], results[3]] == serial_good
+
+    def test_legacy_timeout_raises(self, isolated_results):
+        cells = [
+            Cell(f"{HERE}:sleeping_cell", {"seconds": 30.0, "value": i})
+            for i in range(2)
+        ]
+        with pytest.raises(TimeoutError, match="wall-clock"):
+            execute(cells, jobs=2, cache=False, timeout_s=0.5, retry=FAST_NO_RETRY)
+
+    def test_legacy_repeated_crash_raises(self, isolated_results):
+        cells = [Cell(f"{HERE}:killer_cell", {}), Cell(SEEDS_FN, {"repetitions": 2})]
+        with pytest.raises(RuntimeError, match="killed its worker"):
+            execute(cells, jobs=2, cache=False, retry=FAST_NO_RETRY)
+
+
+class TestCheckpointResume:
+    def test_resume_completes_only_missing_cells_byte_identical(
+        self, isolated_results
+    ):
+        cells = [Cell(SEEDS_FN, {"repetitions": n}) for n in range(1, 6)]
+        full = execute(cells, jobs=1, cache=False, collect_failures=True)
+
+        # simulate an interrupted sweep: only cells 0 and 2 finished
+        cp = SweepCheckpoint(cells)
+        cp.record(cp.tokens[0], full[0])
+        cp.record(cp.tokens[2], full[2])
+        resumed = execute(
+            cells,
+            jobs=1,
+            cache=False,
+            collect_failures=True,
+            checkpoint=cp,
+            resume=True,
+        )
+        assert resumed == full  # byte-identical to the uninterrupted sweep
+        assert executor.LAST_STATS.resumed == 2
+        assert executor.LAST_STATS.computed == 3
+
+    def test_checkpoint_deleted_on_full_success(self, isolated_results):
+        cells = [Cell(SEEDS_FN, {"repetitions": n}) for n in (1, 2)]
+        cp = SweepCheckpoint(cells)
+        execute(
+            cells, jobs=1, cache=False, collect_failures=True, checkpoint=cp
+        )
+        assert not cp.path.exists()
+
+    def test_checkpoint_kept_when_cells_failed(self, isolated_results):
+        cells = [
+            Cell(SEEDS_FN, {"repetitions": 1}),
+            Cell(f"{HERE}:raising_cell", {}),
+        ]
+        cp = SweepCheckpoint(cells)
+        execute(
+            cells,
+            jobs=1,
+            cache=False,
+            collect_failures=True,
+            checkpoint=cp,
+            retry=FAST_NO_RETRY,
+        )
+        assert cp.path.exists()
+        assert cp.load() == {cp.tokens[0]: scale.seeds_for(1)}
+
+    def test_resume_env_default_off(self, isolated_results):
+        # a stale journal with a WRONG value must be ignored unless
+        # resume is requested
+        cells = [Cell(SEEDS_FN, {"repetitions": 2})]
+        cp = SweepCheckpoint(cells)
+        cp.record(cp.tokens[0], ["stale", "values"])
+        results = execute(
+            cells, jobs=1, cache=False, collect_failures=True, checkpoint=cp
+        )
+        assert results == [scale.seeds_for(2)]
+
+
+class TestCacheHardening:
+    def test_unserializable_result_warns_not_raises(self, isolated_results):
+        with pytest.warns(UserWarning, match="cache store skipped"):
+            assert cache.store(SEEDS_FN, {}, {"bad": object()}) is None
+
+    def test_write_failure_warns_not_raises(self, isolated_results, monkeypatch):
+        def refuse(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(cache.os, "replace", refuse)
+        with pytest.warns(UserWarning, match="cache store failed"):
+            assert cache.store(SEEDS_FN, {}, [1, 2]) is None
+
+    def test_corrupt_entry_warns_and_misses(self, isolated_results):
+        path = cache.store(SEEDS_FN, {"repetitions": 1}, [123])
+        path.write_text("{not json")
+        with pytest.warns(UserWarning, match="corrupt cache entry"):
+            assert cache.load(SEEDS_FN, {"repetitions": 1}) is cache.MISS
