@@ -2,16 +2,16 @@
 
 from conftest import emit, run_once
 
-from repro.experiments import common
 from repro.experiments.benchmark_traffic import (
     RESULT_HEADERS,
     fig16_table,
     run_fig16,
 )
+from repro.runner import scale
 
 
 def test_fig16_user_and_incast_throughput(benchmark):
-    degrees = common.pick((2, 6, 10), (2, 4, 6, 8, 10))
+    degrees = scale.pick((2, 6, 10), (2, 4, 6, 8, 10))
     results = run_once(benchmark, lambda: run_fig16(degrees=degrees))
     emit(
         "fig16_benchmark_traffic",

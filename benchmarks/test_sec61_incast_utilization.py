@@ -2,13 +2,13 @@
 
 from conftest import emit, run_once
 
-from repro.experiments import common
 from repro.experiments.common import format_table
 from repro.experiments.microbench import INCAST_HEADERS, run_incast_sweep
+from repro.runner import scale
 
 
 def test_sec61_incast_sweep(benchmark):
-    degrees = common.pick((2, 4, 8, 16), (2, 4, 8, 12, 16, 19))
+    degrees = scale.pick((2, 4, 8, 16), (2, 4, 8, 12, 16, 19))
     results = run_once(benchmark, lambda: run_incast_sweep(degrees=degrees))
     emit(
         "sec61_incast_utilization",

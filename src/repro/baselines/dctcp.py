@@ -1,32 +1,22 @@
-"""DCTCP: window-based ECN congestion control (Alizadeh et al. 2010).
+"""DCTCP baseline — thin adapter over :mod:`repro.cc.dctcp`.
 
-The paper compares DCQCN's queue occupancy against DCTCP's
-(Figure 19): both react to ECN, but DCTCP is ACK-clocked and
-software-driven, so it needs a marking threshold large enough to
-absorb OS/NIC bursts (the guideline is K ~ C x RTT scale; the paper
-configures 160 KB at 40 Gbps), whereas DCQCN's hardware rate limiters
-admit Kmin = 5 KB.  The result is an order-of-magnitude shorter queue
-for DCQCN.
-
-This module implements DCTCP as a :class:`repro.sim.host.Flow`
-subclass:
-
-* the receiver ACKs every packet, echoing the CE bit
-  (``echo_ecn=True`` registration — a faithful stand-in for DCTCP's
-  delayed-ACK ECE state machine at our packet granularity);
-* the sender keeps ``cwnd`` (packets) and the EWMA fraction ``alpha``
-  of marked packets per window (g = 1/16);
-* slow start until the first mark, then additive increase of one
-  packet per window and multiplicative decrease ``cwnd *= 1 - alpha/2``
-  at most once per window.
+The algorithm lives in :class:`repro.cc.dctcp.DctcpControl` as a
+registered controller: the canonical way to run DCTCP is now
+``net.add_flow(src, dst, cc="dctcp")``.  This module keeps the
+pre-refactor construction surface (:class:`DctcpFlow` with its
+introspection attributes, :func:`add_dctcp_flow`) for the figure
+experiments and their tests.  See :mod:`repro.cc.dctcp` for the
+protocol description and the marking-threshold discussion.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
-from repro.sim.host import DATA_PRIORITY, Flow, Host, NEVER
+from repro.cc.dctcp import DctcpControl
+from repro.cc.params import DctcpParams
+from repro.sim.host import DATA_PRIORITY, Flow, Host
 from repro.sim.network import Network
+
+__all__ = ["DctcpFlow", "add_dctcp_flow"]
 
 
 class DctcpFlow(Flow):
@@ -51,66 +41,32 @@ class DctcpFlow(Flow):
             priority=priority,
             mtu_bytes=mtu_bytes,
             start_ns=start_ns,
-        )
-        if initial_cwnd_pkts < 1:
-            raise ValueError("initial cwnd must be at least one packet")
-        if not 0.0 < g <= 1.0:
-            raise ValueError(f"g must be in (0, 1], got {g}")
-        self.cwnd_pkts = float(initial_cwnd_pkts)
-        self.g = g
-        self.min_cwnd_pkts = min_cwnd_pkts
-        self.dctcp_alpha = 0.0
-        self.in_slow_start = True
-        # per-window mark accounting
-        self._window_end_seq = 0
-        self._window_acked = 0
-        self._window_marked = 0
-        self.windows_completed = 0
-
-    # --- NIC pull interface ------------------------------------------------------
-
-    def ready_time(self) -> int:
-        """Ready while data remains and the congestion window is open."""
-        base = super().ready_time()
-        if base >= NEVER:
-            return NEVER
-        if self.next_seq - self.acked_seq < int(self.cwnd_pkts):
-            return base  # still line-rate paced: no super-line bursts
-        return NEVER  # window closed; an ACK reopens it
-
-    # --- feedback ------------------------------------------------------------------
-
-    def on_transport_feedback(self, ece: bool, acked_seq: int) -> None:
-        """Per-packet ACK with echoed CE: DCTCP's control loop."""
-        self._window_acked += 1
-        if ece:
-            self._window_marked += 1
-            self.in_slow_start = False
-        if self.in_slow_start:
-            self.cwnd_pkts += 1.0
-        if acked_seq >= self._window_end_seq:
-            self._end_window(acked_seq)
-        # window may have opened
-        self.src.nic.flow_state_changed(self)
-
-    def _end_window(self, acked_seq: int) -> None:
-        """One RTT's worth of ACKs arrived: update alpha and cwnd."""
-        if self._window_acked > 0:
-            fraction = self._window_marked / self._window_acked
-            self.dctcp_alpha = (
-                (1.0 - self.g) * self.dctcp_alpha + self.g * fraction
-            )
-            if self._window_marked > 0:
-                self.cwnd_pkts = max(
-                    self.min_cwnd_pkts,
-                    self.cwnd_pkts * (1.0 - self.dctcp_alpha / 2.0),
+            cc=DctcpControl(
+                DctcpParams(
+                    initial_cwnd_pkts=initial_cwnd_pkts,
+                    g=g,
+                    min_cwnd_pkts=min_cwnd_pkts,
                 )
-            elif not self.in_slow_start:
-                self.cwnd_pkts += 1.0  # additive increase, per window
-        self.windows_completed += 1
-        self._window_acked = 0
-        self._window_marked = 0
-        self._window_end_seq = self.next_seq
+            ),
+        )
+
+    # pre-refactor introspection surface (tests, monitors)
+
+    @property
+    def cwnd_pkts(self) -> float:
+        return self.cc.cwnd
+
+    @property
+    def dctcp_alpha(self) -> float:
+        return self.cc.dctcp_alpha
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cc.in_slow_start
+
+    @property
+    def windows_completed(self) -> int:
+        return self.cc.windows_completed
 
 
 def add_dctcp_flow(

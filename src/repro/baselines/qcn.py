@@ -1,69 +1,37 @@
-"""QCN (IEEE 802.1Qau) — the L2 quantized-feedback baseline.
+"""QCN baseline — thin adapters over :mod:`repro.cc.qcn`.
 
-DCQCN's rate-increase machinery is taken from QCN, but the decrease
-side differs fundamentally (paper §2.3, §3.3): QCN's congestion point
-*samples* arriving packets (roughly one sample per 150 KB) and, when
-congested, sends a feedback frame carrying a quantized congestion
-measure straight back to the packet's *source MAC*:
+The algorithm (sender RP and switch congestion point) lives in
+:mod:`repro.cc.qcn` as a registered controller: the canonical way to
+run QCN is now ``net.add_flow(src, dst, cc="qcn")``, which installs
+the congestion point on every switch automatically.
 
-    Fb = -(q_off + w * q_delta),   q_off = q - q_eq,  q_delta = q - q_old
-
-The source cuts ``R_C *= 1 - Gd * |Fb|`` where ``Gd |Fb_max| = 1/2``.
-
-Because the feedback frame is addressed by L2 identity, QCN cannot
-cross an IP-routed boundary — the reason the paper had to design
-DCQCN.  This implementation is used for single-L2-domain ablations
-(DCQCN vs QCN on one switch); the simulator itself would happily route
-the feedback anywhere, so the L2 restriction is a *policy* here, not a
-mechanism.
+This module keeps the pre-refactor construction surface for the
+single-L2-domain ablations and their tests: a :class:`QcnSwitch`
+(congestion point pre-installed at build time) plus
+:func:`add_qcn_flow` (a :class:`QcnFlow` registered without touching
+the switches).  See :mod:`repro.cc.qcn` for the protocol description.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
-from repro import units
+from repro.cc.params import QcnCpParams
+from repro.cc.qcn import QCN_FB_LEVELS, QcnControl, QcnFeedback, QcnReactionPoint
 from repro.core.params import DCQCNParams
-from repro.core.rp import ReactionPoint
 from repro.engine import EventScheduler
-from repro.sim.host import CONTROL_PRIORITY, DATA_PRIORITY, Flow, Host
-from repro.sim.link import Port
+from repro.sim.host import DATA_PRIORITY, Flow, Host
 from repro.sim.network import Network
-from repro.sim.packet import (
-    CONTROL_FRAME_BYTES,
-    KIND_DATA,
-    KIND_QCN_FB,
-    Packet,
-)
 from repro.sim.switch import Switch, SwitchConfig
 
-#: QCN quantizes |Fb| to 6 bits.
-QCN_FB_LEVELS = 64
-
-
-class QcnReactionPoint(ReactionPoint):
-    """QCN's RP: quantized multiplicative decrease, QCN rate increase.
-
-    The increase side (byte counter / timer / fast recovery / additive
-    increase) is inherited unchanged from the DCQCN RP — which is
-    faithful, since DCQCN took it from QCN.
-    """
-
-    def on_feedback(self, fb_quantized: int) -> None:
-        """Apply one quantized feedback frame (1..63)."""
-        if fb_quantized <= 0:
-            return
-        cut = min(0.5, (fb_quantized / QCN_FB_LEVELS) * 0.5)
-        self.rt_bps = self.rc_bps
-        self.rc_bps = max(self.rc_bps * (1.0 - cut), self.params.min_rate_bps)
-        self.byte_counter_count = 0
-        self.timer_count = 0
-        self._bytes_toward_event = 0
-        self._increase_timer.reset()
-        self._notify_rate()
-
-    def on_cnp(self) -> None:  # pragma: no cover - guard
-        raise TypeError("QCN reaction points consume QCN feedback, not CNPs")
+__all__ = [
+    "QCN_FB_LEVELS",
+    "QcnFlow",
+    "QcnReactionPoint",
+    "QcnSwitch",
+    "QcnSwitchMixin",
+    "add_qcn_flow",
+]
 
 
 class QcnFlow(Flow):
@@ -89,65 +57,37 @@ class QcnFlow(Flow):
             priority=priority,
             mtu_bytes=mtu_bytes,
             start_ns=start_ns,
-            rp=rp,
+            cc=QcnControl(rp),
         )
-
-    def on_qcn_feedback(self, quantized_fb: int) -> None:
-        self.rp.on_feedback(quantized_fb)
 
 
 class QcnSwitchMixin:
-    """Congestion-point sampling, mixed into :class:`Switch`.
+    """Congestion-point installation, mixed into :class:`Switch`.
 
-    Keeps a per-(egress port, priority) byte countdown; each time
-    ``sample_interval_bytes`` of data passes, computes Fb against the
-    equilibrium queue length and, if negative, addresses a feedback
-    frame to the sampled packet's source.
+    Pre-refactor compatibility shell: ``_init_qcn()`` installs a
+    :class:`repro.cc.qcn.QcnFeedback` generator on the switch's
+    enqueue hook.  The class attributes keep the old tuning surface
+    (subclasses overrode them).
     """
 
-    qcn_q_eq_bytes: float = units.kb(33)
-    qcn_w: float = 2.0
-    qcn_sample_interval_bytes: int = units.kb(150)
+    qcn_q_eq_bytes: float = QcnCpParams.q_eq_bytes
+    qcn_w: float = QcnCpParams.w
+    qcn_sample_interval_bytes: int = QcnCpParams.sample_interval_bytes
 
     def _init_qcn(self) -> None:
-        self._qcn_countdown: Dict[Tuple[int, int], int] = {}
-        self._qcn_q_old: Dict[Tuple[int, int], float] = {}
-        self.qcn_feedback_sent = 0
-        # |Fb| spans q_eq * (1 + 2w); used for quantization
-        self._qcn_fb_max = self.qcn_q_eq_bytes * (1.0 + 2.0 * self.qcn_w)
+        self._qcn_feedback = QcnFeedback(
+            self,
+            QcnCpParams(
+                q_eq_bytes=self.qcn_q_eq_bytes,
+                w=self.qcn_w,
+                sample_interval_bytes=self.qcn_sample_interval_bytes,
+            ),
+        )
+        self.add_cc_feedback(self._qcn_feedback)
 
-    def _qcn_sample(self, pkt: Packet, egress_index: int) -> None:
-        if pkt.kind != KIND_DATA:
-            return
-        key = (egress_index, pkt.priority)
-        remaining = self._qcn_countdown.get(key, 0) - pkt.size
-        if remaining > 0:
-            self._qcn_countdown[key] = remaining
-            return
-        self._qcn_countdown[key] = self.qcn_sample_interval_bytes
-        q = self.egress_queue_bytes(egress_index, pkt.priority)
-        q_old = self._qcn_q_old.get(key, 0.0)
-        self._qcn_q_old[key] = q
-        fb = -((q - self.qcn_q_eq_bytes) + self.qcn_w * (q - q_old))
-        if fb >= 0:
-            return  # not congested; QCN sends no positive feedback
-        quantized = min(
-            QCN_FB_LEVELS - 1,
-            max(1, int(-fb / self._qcn_fb_max * QCN_FB_LEVELS)),
-        )
-        self.qcn_feedback_sent += 1
-        feedback = Packet(
-            KIND_QCN_FB,
-            flow_id=pkt.flow_id,
-            src=self.device_id,
-            dst=pkt.src,
-            size=CONTROL_FRAME_BYTES,
-            priority=CONTROL_PRIORITY,
-            qcn_fb=quantized,
-        )
-        # switch-originated frame: attribute its buffer usage to the
-        # ingress the sampled packet used (it heads back that way)
-        self._enqueue(feedback, pkt.ingress_index)
+    @property
+    def qcn_feedback_sent(self) -> int:
+        return self._qcn_feedback.feedback_sent
 
 
 class QcnSwitch(QcnSwitchMixin, Switch):
@@ -164,14 +104,6 @@ class QcnSwitch(QcnSwitchMixin, Switch):
         super().__init__(engine, device_id, name, config=config, ecmp_salt=ecmp_salt)
         self._init_qcn()
 
-    def _enqueue(self, pkt: Packet, ingress_index: int) -> None:
-        before = self.forwarded_packets
-        Switch._enqueue(self, pkt, ingress_index)
-        if self.forwarded_packets > before and pkt.kind == KIND_DATA:
-            # _pick_egress is a pure hash: re-deriving it names the
-            # queue the packet just joined
-            self._qcn_sample(pkt, self._pick_egress(pkt))
-
 
 def add_qcn_flow(
     net: Network,
@@ -182,7 +114,7 @@ def add_qcn_flow(
     mtu_bytes: int = 1000,
     start_ns: int = 0,
 ) -> QcnFlow:
-    """Open a QCN-controlled flow on ``net``."""
+    """Open a QCN-controlled flow on ``net`` (switches must sample)."""
     flow = QcnFlow(
         net.next_flow_id(),
         src,

@@ -1,0 +1,176 @@
+"""The congestion-control interface every controller implements.
+
+A :class:`CongestionControl` is the per-flow brain at the sending NIC.
+The simulator feeds it *signals* and reads back *actions*:
+
+========================  ====================================================
+signal (input)            delivered by
+========================  ====================================================
+``on_cnp()``              the NIC, when a CNP for the flow arrives
+``on_ecn_echo(...)``      the NIC, per ACK, with the echoed CE bit
+``on_rtt_sample(...)``    the NIC's per-flow RTT sampler (``wants_rtt``)
+``on_bytes_sent(...)``    the NIC's tx-complete path, per data packet
+``on_qcn_feedback(...)``  the NIC, when a QCN feedback frame arrives
+========================  ====================================================
+
+========================  ====================================================
+action (output)           consumed by
+========================  ====================================================
+``rate_bps()``            :meth:`Flow.take_packet` pacing-gap computation;
+                          ``None`` means "unpaced" (line rate)
+``cwnd_pkts()``           :meth:`Flow.ready_time` window gating; ``None``
+                          means "no window" (purely rate-based)
+========================  ====================================================
+
+Class-level capability flags tell the stack which signals to generate —
+generating them unconditionally would cost every flow the overhead of
+every controller's needs:
+
+* ``wants_cnp`` — receiver runs the DCQCN NP algorithm (CNP generation);
+* ``wants_ecn_echo`` — receiver ACKs every packet echoing the CE bit;
+* ``wants_rtt`` — sender NIC timestamps departures and feeds RTT samples;
+* ``switch_feedback`` — name of a switch-side feedback generator
+  (``"qcn"``, ``"fncc"``) the network must install on every switch.
+
+Rate-based controllers that wrap a :class:`repro.core.rp.ReactionPoint`
+expose it as ``.rp`` — :class:`repro.sim.host.Flow` re-exports it via
+its ``rp`` property so the pre-refactor introspection surface
+(``flow.rp.rc_bps`` and friends) keeps working.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.params import DCQCNParams
+    from repro.engine import EventScheduler
+    from repro.sim.host import Flow
+
+
+@dataclass
+class CcContext:
+    """Everything a controller factory may need to build one instance.
+
+    ``params`` carries the network's (or the flow's override) DCQCN
+    parameter set — controllers derived from the DCQCN state machines
+    (dcqcn, qcn, fncc) read their constants from it.  ``cc_params`` is
+    a flat mapping of scalar overrides taken verbatim from
+    ``FlowSpec.cc_params`` / ``Network.add_flow(cc_params=...)``; each
+    controller documents the keys it understands and rejects unknown
+    ones, so a typo'd knob fails loudly instead of silently running
+    the defaults.
+    """
+
+    engine: "EventScheduler"
+    line_rate_bps: float
+    params: "DCQCNParams"
+    flow_id: int = -1
+    host_name: str = "?"
+    rng: Optional[random.Random] = None
+    cc_params: Dict[str, Any] = field(default_factory=dict)
+
+    def take_params(self, allowed: tuple) -> Dict[str, Any]:
+        """The ``cc_params`` overrides, validated against ``allowed``."""
+        unknown = set(self.cc_params) - set(allowed)
+        if unknown:
+            raise ValueError(
+                f"unknown cc_params {sorted(unknown)}; "
+                f"this controller accepts {sorted(allowed)}"
+            )
+        return dict(self.cc_params)
+
+
+class CongestionControl:
+    """Base class / protocol for per-flow congestion controllers."""
+
+    #: registry name (also stamped on telemetry events)
+    name: str = "?"
+    #: receiver-side NP (CNP generation) required
+    wants_cnp: bool = False
+    #: receiver ACKs every packet, echoing the CE bit
+    wants_ecn_echo: bool = False
+    #: sender NIC feeds per-ACK RTT samples
+    wants_rtt: bool = False
+    #: switch-side feedback generator to install (``None`` for none)
+    switch_feedback: Optional[str] = None
+    #: whether :meth:`seed_rate` is meaningful for this controller
+    supports_seed_rate: bool = False
+    #: whether :meth:`cwnd_pkts` ever returns a window — lets the Flow
+    #: hot path skip the call entirely for rate-only controllers
+    windowed: bool = False
+
+    def __init__(self) -> None:
+        self.flow: Optional["Flow"] = None
+        self.tracer = None
+        self.guard = None
+        self.line_rate_bps: Optional[float] = None
+        self.component: str = f"cc.{self.name}"
+        #: underlying ReactionPoint for rate-based controllers (compat)
+        self.rp = None
+
+    # --- lifecycle ---------------------------------------------------------
+
+    def bind(self, flow: "Flow") -> None:
+        """Attach to ``flow`` (called once, from ``Flow.__init__``)."""
+        self.flow = flow
+        if self.line_rate_bps is None:
+            nic = flow.src.nic
+            if nic.ports:
+                self.line_rate_bps = nic.line_rate_bps
+
+    def set_tracer(self, tracer) -> None:
+        self.tracer = tracer
+
+    def set_guard(self, guard) -> None:
+        self.guard = guard
+
+    # --- outputs -----------------------------------------------------------
+
+    def rate_bps(self) -> Optional[float]:
+        """Current pacing rate, or ``None`` when the flow is unpaced."""
+        return None
+
+    def cwnd_pkts(self) -> Optional[float]:
+        """Congestion window in packets, or ``None`` when windowless."""
+        return None
+
+    # --- inputs ------------------------------------------------------------
+
+    def on_cnp(self) -> None:
+        """A congestion notification packet arrived for this flow."""
+
+    def on_ecn_echo(self, ece: bool, acked_seq: int) -> None:
+        """An ACK arrived carrying the echoed CE bit (``wants_ecn_echo``)."""
+
+    def on_rtt_sample(self, rtt_ns: int) -> None:
+        """A fresh RTT measurement from the NIC sampler (``wants_rtt``)."""
+
+    def on_bytes_sent(self, nbytes: int) -> None:
+        """``nbytes`` of flow data finished serializing at the NIC port."""
+
+    def on_qcn_feedback(self, quantized_fb: int) -> None:
+        """A QCN feedback frame arrived for this flow."""
+
+    # --- episodic control --------------------------------------------------
+
+    def seed_rate(self, rate_bps: float) -> None:
+        """Start already throttled (convergence studies); optional."""
+        raise NotImplementedError(
+            f"{self.name!r} does not support initial_rate_bps seeding"
+        )
+
+    def reset_to_line_rate(self) -> None:
+        """Forget congestion state (fresh queue pair per message)."""
+
+    # --- helpers -----------------------------------------------------------
+
+    def _guard_check(self, event: str) -> None:
+        """Invariant hook for controllers without a ReactionPoint."""
+        if self.guard is not None:
+            self.guard.on_cc_update(self, event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(flow={getattr(self.flow, 'flow_id', None)})"

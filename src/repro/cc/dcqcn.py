@@ -1,0 +1,78 @@
+"""DCQCN as a :class:`CongestionControl` (the paper's protocol).
+
+The sender state machine itself still lives in
+:class:`repro.core.rp.ReactionPoint` — this module adapts it to the
+``repro.cc`` interface rather than duplicating it, because the fluid
+model and the RP unit tests exercise the core class directly.
+:class:`RpBackedControl` is the shared adapter; the QCN and FNCC
+controllers reuse it (their increase machinery *is* the DCQCN RP's,
+which is faithful — DCQCN took it from QCN).
+
+The receiver half (NP, CNP generation) is not a controller concern:
+``wants_cnp`` tells the network to arm the NP at the receiving NIC.
+"""
+
+from __future__ import annotations
+
+from repro.cc.base import CcContext, CongestionControl
+from repro.cc.registry import register_cc
+from repro.core.rp import ReactionPoint
+
+
+class RpBackedControl(CongestionControl):
+    """Adapter for controllers whose brain is a ReactionPoint."""
+
+    def __init__(self, rp: ReactionPoint):
+        super().__init__()
+        self.rp = rp
+        self.component = rp.component
+        self.line_rate_bps = rp.line_rate_bps
+
+    def bind(self, flow) -> None:
+        super().bind(flow)
+        self.rp.on_rate_change = flow._on_rate_change
+
+    def set_tracer(self, tracer) -> None:
+        self.tracer = tracer
+        self.rp.tracer = tracer
+
+    def set_guard(self, guard) -> None:
+        self.guard = guard
+        self.rp.guard = guard
+
+    def rate_bps(self) -> float:
+        return self.rp.rc_bps
+
+    def on_cnp(self) -> None:
+        self.rp.on_cnp()
+
+    def on_bytes_sent(self, nbytes: int) -> None:
+        self.rp.on_bytes_sent(nbytes)
+
+    def seed_rate(self, rate_bps: float) -> None:
+        self.rp.seed_rate(rate_bps)
+
+    def reset_to_line_rate(self) -> None:
+        self.rp.reset_to_line_rate()
+
+
+class DcqcnControl(RpBackedControl):
+    """The paper's protocol: CNP-driven RP at the sender, NP at the receiver."""
+
+    name = "dcqcn"
+    wants_cnp = True
+    supports_seed_rate = True
+
+
+@register_cc("dcqcn")
+def _make_dcqcn(ctx: CcContext) -> DcqcnControl:
+    ctx.take_params(())  # DCQCN constants travel as a DCQCNParams set
+    rp = ReactionPoint(
+        ctx.engine,
+        ctx.params,
+        ctx.line_rate_bps,
+        timer_seed=ctx.rng.getrandbits(32) if ctx.rng is not None else None,
+        flow_id=ctx.flow_id,
+        component=f"{ctx.host_name}.rp",
+    )
+    return DcqcnControl(rp)

@@ -1,0 +1,103 @@
+"""DCTCP: window-based ECN congestion control (Alizadeh et al. 2010).
+
+The paper compares DCQCN's queue occupancy against DCTCP's
+(Figure 19): both react to ECN, but DCTCP is ACK-clocked and
+software-driven, so it needs a marking threshold large enough to
+absorb OS/NIC bursts (the guideline is K ~ C x RTT scale; the paper
+configures 160 KB at 40 Gbps), whereas DCQCN's hardware rate limiters
+admit Kmin = 5 KB.  The result is an order-of-magnitude shorter queue
+for DCQCN.
+
+As a :class:`CongestionControl` the sender side is pure window logic:
+
+* ``wants_ecn_echo`` makes the receiver ACK every packet echoing the
+  CE bit (a faithful stand-in for DCTCP's delayed-ACK ECE state
+  machine at our packet granularity);
+* the controller keeps ``cwnd`` (packets) and the EWMA fraction
+  ``alpha`` of marked packets per window (g = 1/16);
+* slow start until the first mark, then additive increase of one
+  packet per window and multiplicative decrease ``cwnd *= 1 - alpha/2``
+  at most once per window.
+
+``cwnd_pkts()`` gates :meth:`Flow.ready_time`; ``rate_bps()`` stays
+``None`` — in-window packets go out line-rate paced, never faster.
+"""
+
+from __future__ import annotations
+
+from repro.cc.base import CcContext, CongestionControl
+from repro.cc.params import DctcpParams
+from repro.cc.registry import register_cc
+
+
+class DctcpControl(CongestionControl):
+    """DCTCP sender; eligibility is window-gated, not rate-paced."""
+
+    name = "dctcp"
+    wants_ecn_echo = True
+    windowed = True
+
+    def __init__(self, params: DctcpParams):
+        super().__init__()
+        self.params = params
+        self.cwnd = float(params.initial_cwnd_pkts)
+        self.g = params.g
+        self.min_cwnd_pkts = params.min_cwnd_pkts
+        self.dctcp_alpha = 0.0
+        self.in_slow_start = True
+        # per-window mark accounting
+        self._window_end_seq = 0
+        self._window_acked = 0
+        self._window_marked = 0
+        self.windows_completed = 0
+
+    def cwnd_pkts(self) -> float:
+        return self.cwnd
+
+    def on_ecn_echo(self, ece: bool, acked_seq: int) -> None:
+        """Per-packet ACK with echoed CE: DCTCP's control loop."""
+        self._window_acked += 1
+        if ece:
+            self._window_marked += 1
+            self.in_slow_start = False
+        if self.in_slow_start:
+            self.cwnd += 1.0
+        if acked_seq >= self._window_end_seq:
+            self._end_window()
+        # window may have opened
+        flow = self.flow
+        flow.src.nic.flow_state_changed(flow)
+
+    def _end_window(self) -> None:
+        """One RTT's worth of ACKs arrived: update alpha and cwnd."""
+        if self._window_acked > 0:
+            fraction = self._window_marked / self._window_acked
+            self.dctcp_alpha = (
+                (1.0 - self.g) * self.dctcp_alpha + self.g * fraction
+            )
+            if self._window_marked > 0:
+                self.cwnd = max(
+                    self.min_cwnd_pkts,
+                    self.cwnd * (1.0 - self.dctcp_alpha / 2.0),
+                )
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        self.flow.src.nic.engine.now,
+                        "cc.cut",
+                        self.component,
+                        flow=self.flow.flow_id,
+                        cc=self.name,
+                    )
+                self._guard_check("cut")
+            elif not self.in_slow_start:
+                self.cwnd += 1.0  # additive increase, per window
+        self.windows_completed += 1
+        self._window_acked = 0
+        self._window_marked = 0
+        self._window_end_seq = self.flow.next_seq
+
+
+@register_cc("dctcp")
+def _make_dctcp(ctx: CcContext) -> DctcpControl:
+    overrides = ctx.take_params(("initial_cwnd_pkts", "g", "min_cwnd_pkts"))
+    return DctcpControl(DctcpParams(**overrides))

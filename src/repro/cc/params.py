@@ -1,0 +1,128 @@
+"""Validated parameter sets for the non-DCQCN controllers.
+
+The params layer owns validation (one place, tested once): controller
+constructors and thin ``Flow`` adapters build one of these dataclasses
+and let ``__post_init__`` reject bad values, instead of each transport
+re-checking its own knobs.  DCQCN's constants stay in
+:class:`repro.core.params.DCQCNParams` (they predate this package and
+are shared by the fluid model); everything here follows its pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+
+
+@dataclass(frozen=True)
+class DctcpParams:
+    """DCTCP sender knobs (Alizadeh et al. 2010).
+
+    ``g`` is the EWMA gain of the marked-fraction estimator; the paper
+    recommends 1/16.  Windows are in packets because the simulator
+    paces whole MTU frames.
+    """
+
+    initial_cwnd_pkts: float = 10.0
+    g: float = 1.0 / 16.0
+    min_cwnd_pkts: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.initial_cwnd_pkts < 1:
+            raise ValueError(
+                f"initial cwnd must be at least one packet, "
+                f"got {self.initial_cwnd_pkts}"
+            )
+        if not 0.0 < self.g <= 1.0:
+            raise ValueError(f"g must be in (0, 1], got {self.g}")
+        if not 0.0 < self.min_cwnd_pkts <= self.initial_cwnd_pkts:
+            raise ValueError(
+                "need 0 < min_cwnd_pkts <= initial_cwnd_pkts, got "
+                f"{self.min_cwnd_pkts} vs {self.initial_cwnd_pkts}"
+            )
+
+
+@dataclass(frozen=True)
+class TimelyParams:
+    """TIMELY-style RTT-gradient control (Mittal et al., SIGCOMM 2015).
+
+    Thresholds are scaled to this simulator's fabric: the base RTT on
+    the 40 Gbps topologies is ~2-3 µs and DCQCN's Kmax (200 KB) is
+    ~40 µs of queueing, so ``t_low``/``t_high`` bracket the same
+    operating region the ECN profile covers.  ``rai_bps`` matches
+    DCQCN's additive step for comparability.
+    """
+
+    t_low_ns: int = units.us(5)
+    t_high_ns: int = units.us(25)
+    #: EWMA gain of the RTT-difference filter
+    ewma_g: float = 0.3
+    #: multiplicative-decrease strength
+    beta: float = 0.8
+    #: additive increase per decision
+    rai_bps: float = units.mbps(40)
+    #: consecutive negative gradients before hyper-active increase
+    hai_threshold: int = 5
+    #: HAI multiplier on the additive step
+    hai_factor: float = 5.0
+    #: gradient normalization base (the minimum achievable RTT)
+    min_rtt_ns: int = units.us(2)
+    min_rate_bps: float = units.mbps(1)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.t_low_ns < self.t_high_ns:
+            raise ValueError(
+                f"need 0 < t_low < t_high, got {self.t_low_ns}, {self.t_high_ns}"
+            )
+        if not 0.0 < self.ewma_g <= 1.0:
+            raise ValueError(f"ewma_g must be in (0, 1], got {self.ewma_g}")
+        if not 0.0 < self.beta <= 1.0:
+            raise ValueError(f"beta must be in (0, 1], got {self.beta}")
+        if self.rai_bps <= 0 or self.min_rate_bps <= 0:
+            raise ValueError("rate steps and min rate must be positive")
+        if self.hai_threshold < 1 or self.hai_factor < 1.0:
+            raise ValueError("hai_threshold must be >= 1 and hai_factor >= 1")
+        if self.min_rtt_ns <= 0:
+            raise ValueError("min_rtt_ns must be positive")
+
+
+@dataclass(frozen=True)
+class FnccParams:
+    """FNCC-style fast notification (arXiv 2405.07608).
+
+    The switch, not the receiver, generates the CNP: on marking a data
+    packet it addresses a CNP straight back to the packet's source,
+    cutting the notification path from data→receiver→sender to
+    data→switch→sender.  ``cnp_interval_ns`` rate-limits switch CNPs
+    per flow, mirroring the NP's ConnectX-3 50 µs limit so the
+    *reaction* stays comparable and only the loop latency differs.
+    """
+
+    cnp_interval_ns: int = units.us(50)
+
+    def __post_init__(self) -> None:
+        if self.cnp_interval_ns <= 0:
+            raise ValueError(
+                f"cnp_interval_ns must be positive, got {self.cnp_interval_ns}"
+            )
+
+
+@dataclass(frozen=True)
+class QcnCpParams:
+    """QCN congestion-point sampling knobs (IEEE 802.1Qau defaults)."""
+
+    q_eq_bytes: float = units.kb(33)
+    w: float = 2.0
+    sample_interval_bytes: int = units.kb(150)
+
+    def __post_init__(self) -> None:
+        if self.q_eq_bytes <= 0:
+            raise ValueError(f"q_eq_bytes must be positive, got {self.q_eq_bytes}")
+        if self.w < 0:
+            raise ValueError(f"w must be non-negative, got {self.w}")
+        if self.sample_interval_bytes <= 0:
+            raise ValueError(
+                f"sample_interval_bytes must be positive, "
+                f"got {self.sample_interval_bytes}"
+            )

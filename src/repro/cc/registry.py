@@ -1,0 +1,85 @@
+"""Name → factory registries for controllers and switch feedback.
+
+Two registries live here:
+
+* the **controller registry** maps a name (``"dcqcn"``, ``"dctcp"``,
+  ...) to a factory ``f(ctx: CcContext) -> CongestionControl``.  The
+  reserved name ``"none"`` is registered to a factory returning
+  ``None`` — an open-loop flow with no controller at all;
+* the **switch-feedback registry** maps a generator name (declared by
+  a controller's ``switch_feedback`` attribute) to a factory
+  ``f(switch) -> generator``; the network installs one generator per
+  switch per kind and routes matching flows to it via ``watch()``.
+
+Both are populated by import side effects from the controller modules
+(``repro.cc`` imports them all), so ``available_cc()`` is complete as
+soon as the package is imported.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.cc.base import CcContext, CongestionControl
+
+_CC_REGISTRY: Dict[str, Callable[[CcContext], Optional[CongestionControl]]] = {}
+_FEEDBACK_REGISTRY: Dict[str, Callable[..., Any]] = {}
+
+
+def register_cc(name: str):
+    """Decorator registering a controller factory under ``name``."""
+
+    def deco(factory: Callable[[CcContext], Optional[CongestionControl]]):
+        if name in _CC_REGISTRY:
+            raise ValueError(f"congestion controller {name!r} already registered")
+        _CC_REGISTRY[name] = factory
+        return factory
+
+    return deco
+
+
+def create_cc(name: str, ctx: CcContext) -> Optional[CongestionControl]:
+    """Build the controller registered as ``name`` (``None`` for "none")."""
+    try:
+        factory = _CC_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown congestion controller {name!r}; "
+            f"available: {available_cc()}"
+        ) from None
+    return factory(ctx)
+
+
+def available_cc() -> Tuple[str, ...]:
+    """All registered controller names, sorted ("none" included)."""
+    return tuple(sorted(_CC_REGISTRY))
+
+
+def register_switch_feedback(name: str):
+    """Decorator registering a switch-side feedback generator factory."""
+
+    def deco(factory: Callable[..., Any]):
+        if name in _FEEDBACK_REGISTRY:
+            raise ValueError(f"switch feedback {name!r} already registered")
+        _FEEDBACK_REGISTRY[name] = factory
+        return factory
+
+    return deco
+
+
+def create_switch_feedback(name: str, switch) -> Any:
+    """Build the feedback generator registered as ``name`` for ``switch``."""
+    try:
+        factory = _FEEDBACK_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown switch feedback {name!r}; "
+            f"available: {tuple(sorted(_FEEDBACK_REGISTRY))}"
+        ) from None
+    return factory(switch)
+
+
+@register_cc("none")
+def _make_none(ctx: CcContext) -> None:
+    ctx.take_params(())  # "none" accepts no overrides
+    return None

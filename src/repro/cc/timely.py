@@ -1,0 +1,168 @@
+"""TIMELY-style RTT-gradient congestion control (Mittal et al. 2015).
+
+TIMELY was published alongside DCQCN (both SIGCOMM 2015) as the other
+answer to RDMA congestion: instead of ECN marks it uses precise NIC
+RTT measurements, reacting to the *gradient* of the RTT — a rising RTT
+means the queue is filling, regardless of its absolute level.
+
+Per completion event (here: per cumulative ACK covering freshly
+timestamped data):
+
+* ``rtt < t_low``  → additive increase (queues empty; grab bandwidth);
+* ``rtt > t_high`` → multiplicative decrease proportional to the
+  overshoot, ``rate *= 1 - beta * (1 - t_high/rtt)`` (don't let a
+  long-lived standing queue persist);
+* otherwise the normalized gradient decides: negative → additive
+  increase (HAI after ``hai_threshold`` consecutive negatives),
+  positive → ``rate *= 1 - beta * gradient``.
+
+The controller is purely rate-based (``cwnd_pkts() is None``) and
+needs no switch support at all — ``wants_rtt`` makes the sender NIC
+timestamp departures and feed a sample per ACK (per-packet ACKs, like
+DCTCP's registration, so the measurement loop is tight).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cc.base import CcContext, CongestionControl
+from repro.cc.params import TimelyParams
+from repro.cc.registry import register_cc
+
+
+class TimelyControl(CongestionControl):
+    """RTT-gradient rate control; no ECN, no switch feedback."""
+
+    name = "timely"
+    wants_rtt = True
+    supports_seed_rate = True
+
+    def __init__(self, engine, params: TimelyParams, line_rate_bps: float):
+        super().__init__()
+        if line_rate_bps <= 0:
+            raise ValueError("line_rate_bps must be positive")
+        self.engine = engine
+        self.params = params
+        self.line_rate_bps = line_rate_bps
+        self.rc_bps = line_rate_bps
+        self._prev_rtt_ns: Optional[int] = None
+        self._rtt_diff_ns = 0.0
+        self._neg_gradient_streak = 0
+        self._decreasing = False
+        # statistics
+        self.rtt_samples = 0
+        self.decreases = 0
+
+    # --- outputs -----------------------------------------------------------
+
+    def rate_bps(self) -> float:
+        return self.rc_bps
+
+    # --- inputs ------------------------------------------------------------
+
+    def on_rtt_sample(self, rtt_ns: int) -> None:
+        self.rtt_samples += 1
+        p = self.params
+        if self._prev_rtt_ns is None:
+            self._prev_rtt_ns = rtt_ns
+            return
+        new_diff = rtt_ns - self._prev_rtt_ns
+        self._prev_rtt_ns = rtt_ns
+        self._rtt_diff_ns = (
+            (1.0 - p.ewma_g) * self._rtt_diff_ns + p.ewma_g * new_diff
+        )
+        gradient = self._rtt_diff_ns / p.min_rtt_ns
+        if rtt_ns < p.t_low_ns:
+            self._neg_gradient_streak = 0
+            self._set_rate(self.rc_bps + p.rai_bps)
+        elif rtt_ns > p.t_high_ns:
+            self._neg_gradient_streak = 0
+            self._set_rate(
+                self.rc_bps * (1.0 - p.beta * (1.0 - p.t_high_ns / rtt_ns))
+            )
+        elif gradient <= 0:
+            self._neg_gradient_streak += 1
+            step = p.rai_bps
+            if self._neg_gradient_streak >= p.hai_threshold:
+                step *= p.hai_factor
+            self._set_rate(self.rc_bps + step)
+        else:
+            self._neg_gradient_streak = 0
+            self._set_rate(self.rc_bps * (1.0 - p.beta * min(1.0, gradient)))
+
+    # --- episodic control --------------------------------------------------
+
+    def seed_rate(self, rate_bps: float) -> None:
+        if not 0 < rate_bps <= self.line_rate_bps:
+            raise ValueError(
+                f"seed rate must be in (0, {self.line_rate_bps}], got {rate_bps}"
+            )
+        self.rc_bps = rate_bps
+        self._guard_check("seed")
+        self._notify()
+
+    def reset_to_line_rate(self) -> None:
+        self.rc_bps = self.line_rate_bps
+        self._prev_rtt_ns = None
+        self._rtt_diff_ns = 0.0
+        self._neg_gradient_streak = 0
+        self._decreasing = False
+        self._guard_check("reset")
+        self._notify()
+
+    # --- internals ---------------------------------------------------------
+
+    def _set_rate(self, new_rate_bps: float) -> None:
+        p = self.params
+        new_rate_bps = min(self.line_rate_bps, max(p.min_rate_bps, new_rate_bps))
+        decreasing = new_rate_bps < self.rc_bps
+        if decreasing:
+            self.decreases += 1
+        if self.tracer is not None:
+            if decreasing and not self._decreasing:
+                # edge-triggered: the start of a decrease episode
+                self.tracer.emit(
+                    self.engine.now,
+                    "cc.cut",
+                    self.component,
+                    flow=self.flow.flow_id if self.flow is not None else -1,
+                    cc=self.name,
+                )
+            if new_rate_bps != self.rc_bps:
+                self.tracer.emit(
+                    self.engine.now,
+                    "cc.rate",
+                    self.component,
+                    flow=self.flow.flow_id if self.flow is not None else -1,
+                    cc=self.name,
+                    rate_bps=new_rate_bps,
+                )
+        self._decreasing = decreasing
+        if new_rate_bps == self.rc_bps:
+            return
+        self.rc_bps = new_rate_bps
+        self._guard_check("rate")
+        self._notify()
+
+    def _notify(self) -> None:
+        if self.flow is not None:
+            self.flow._on_rate_change(self.rc_bps)
+
+
+@register_cc("timely")
+def _make_timely(ctx: CcContext) -> TimelyControl:
+    overrides = ctx.take_params(
+        (
+            "t_low_ns",
+            "t_high_ns",
+            "ewma_g",
+            "beta",
+            "rai_bps",
+            "hai_threshold",
+            "hai_factor",
+            "min_rtt_ns",
+            "min_rate_bps",
+        )
+    )
+    return TimelyControl(ctx.engine, TimelyParams(**overrides), ctx.line_rate_bps)

@@ -30,6 +30,13 @@ Hardened execution (see DESIGN.md §10)::
     python -m repro fig16 --timeout 300            # per-cell budget (s)
     python -m repro fig16 --resume                 # finish interrupted sweep
 
+CC arena and perf baselines (see DESIGN.md §11)::
+
+    python -m repro run arena                      # controller league table
+    python -m repro run arena --invariants strict  # ... guarded
+    python -m repro bench                          # events/sec baselines
+    python -m repro bench smoke --dry-run          # measure, don't record
+
 Each command prints the same rows the corresponding benchmark emits.
 The dispatch table is :data:`repro.runner.REGISTRY`, populated by
 :mod:`repro.experiments.catalog`; ``--jobs`` / ``--no-cache`` set the
@@ -45,7 +52,7 @@ import sys
 from typing import Dict, Optional, Sequence
 
 import repro.experiments.catalog  # noqa: F401  (populates REGISTRY)
-from repro.invariants import MODES
+from repro.invariants import INVARIANTS_ENV, MODES
 from repro.runner import JOBS_ENV, REGISTRY, SCALE_ENV, SCENARIOS, format_table
 from repro.runner.cache import CACHE_ENV
 from repro.runner.resilience import RESUME_ENV, TIMEOUT_ENV
@@ -343,6 +350,106 @@ def profile_main(argv: Sequence[str]) -> int:
     return 0
 
 
+#: scenarios ``repro bench`` times when none are named: one of each
+#: canonical shape (single switch, parking lot, Clos)
+BENCH_SCENARIOS = ("smoke", "unfairness-dcqcn", "victim")
+
+
+def bench_main(argv: Sequence[str]) -> int:
+    """``python -m repro bench`` — simulator throughput baselines.
+
+    Runs each named scenario once inline and reports scheduler events
+    per wall-clock second; the numbers are appended as a new baseline
+    to ``BENCH_sim.json`` (next to ``results/``) so performance work
+    has a recorded trajectory.  ``--dry-run`` measures without
+    recording.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Measure simulator events/sec on canonical scenarios.",
+    )
+    parser.add_argument(
+        "scenarios",
+        nargs="*",
+        help="named scenarios to time (default: "
+        + ", ".join(BENCH_SCENARIOS)
+        + ")",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument(
+        "--scale",
+        choices=SCALES,
+        default=None,
+        help="override REPRO_SCALE for this invocation",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="record into this file instead of BENCH_sim.json",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the table but do not record a baseline",
+    )
+    args = parser.parse_args(argv)
+    if args.scale is not None:
+        os.environ[SCALE_ENV] = args.scale
+
+    import json
+    import time
+    from pathlib import Path
+
+    from repro.runner import run_scenario_inline
+    from repro.runner.cache import results_dir
+    from repro.runner.scale import scale as active_scale
+
+    ids = args.scenarios or list(BENCH_SCENARIOS)
+    rows = []
+    record: Dict[str, dict] = {}
+    for scenario_id in ids:
+        scenario = _build_named_scenario(scenario_id)
+        if scenario is None:
+            return 2
+        start = time.perf_counter()
+        _, net = run_scenario_inline(scenario, args.seed)
+        wall_s = time.perf_counter() - start
+        events = net.engine.events_processed
+        eps = events / wall_s if wall_s > 0 else 0.0
+        record[scenario_id] = {
+            "events": events,
+            "wall_s": round(wall_s, 4),
+            "events_per_sec": round(eps),
+            "sim_ns": scenario.warmup_ns + scenario.duration_ns,
+        }
+        rows.append([scenario_id, str(events), f"{wall_s:.2f}", f"{eps:,.0f}"])
+    print(format_table(["scenario", "events", "wall s", "events/s"], rows))
+    if args.dry_run:
+        return 0
+    path = (
+        Path(args.out) if args.out else results_dir().parent / "BENCH_sim.json"
+    )
+    data = {"baselines": []}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except ValueError:
+            print(f"refusing to overwrite malformed {path}", file=sys.stderr)
+            return 2
+    data.setdefault("baselines", []).append(
+        {
+            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "scale": active_scale(),
+            "seed": args.seed,
+            "scenarios": record,
+        }
+    )
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"recorded baseline #{len(data['baselines'])} to {path}")
+    return 0
+
+
 def faults_main(argv: Sequence[str]) -> int:
     """``python -m repro faults list|example`` — the injector vocabulary."""
     parser = argparse.ArgumentParser(
@@ -441,6 +548,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if argv and argv[0] == "faults":
         return faults_main(argv[1:])
+    if argv and argv[0] == "bench":
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.scale is not None:
         os.environ[SCALE_ENV] = args.scale
@@ -452,6 +561,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         os.environ[RESUME_ENV] = "on"
     if args.timeout is not None:
         os.environ[TIMEOUT_ENV] = args.timeout
+    if args.invariants is not None:
+        # experiments that arm the guard themselves (the CC arena) read
+        # the mode from the environment; named scenarios also get it
+        # overlaid onto their spec below
+        os.environ[INVARIANTS_ENV] = args.invariants
     experiment_id = args.experiment
     if experiment_id == "run":
         if args.extra is None:

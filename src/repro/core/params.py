@@ -111,6 +111,10 @@ class DCQCNParams:
             raise ValueError("fast recovery threshold F must be >= 1")
         if min(self.rai_bps, self.rhai_bps, self.min_rate_bps) <= 0:
             raise ValueError("rate steps and min rate must be positive")
+        if not 0.0 <= self.initial_alpha <= 1.0:
+            raise ValueError(
+                f"initial_alpha must be in [0, 1], got {self.initial_alpha}"
+            )
 
     @classmethod
     def deployed(cls) -> "DCQCNParams":

@@ -207,6 +207,13 @@ def microbench() -> str:
     return sec61()
 
 
+@experiment("arena", "CC tournament: every controller x {incast, victim, multibottleneck}")
+def arena() -> str:
+    from repro.experiments.arena import run_arena
+
+    return run_arena().table()
+
+
 @experiment("chaos", "scripted fault injection: PAUSE storms, flaps, recovery")
 def chaos() -> str:
     from repro.experiments.chaos import run_chaos

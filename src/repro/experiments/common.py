@@ -1,17 +1,17 @@
-"""Shared experiment plumbing — now thin shims over :mod:`repro.runner`.
+"""Shared experiment plumbing over :mod:`repro.runner`.
 
-The scale/seed policy, table rendering and results directory moved to
+The scale/seed policy, table rendering and results directory live in
 the runner layer (``repro.runner.scale`` / ``repro.runner.results`` /
-``repro.runner.cache``).  The names here are kept as deprecated
-aliases so external callers, examples and older benchmarks keep
-working unchanged.
+``repro.runner.cache``); use those directly for new code.  The
+PR-1-era ``pick``/``seeds_for`` deprecation shims are gone — import
+:mod:`repro.runner.scale` instead.  What remains here is the small
+experiment-side surface: the results directory, table writing, and
+Gbps formatting.
 """
 
 from __future__ import annotations
 
-import warnings
 from pathlib import Path
-from typing import List, Sequence
 
 from repro.runner import cache as _cache
 from repro.runner import scale as _scale
@@ -22,30 +22,8 @@ SCALE_ENV = _scale.SCALE_ENV
 
 
 def scale() -> str:
-    """Deprecated alias for :func:`repro.runner.scale.scale`."""
+    """Alias for :func:`repro.runner.scale.scale`."""
     return _scale.scale()
-
-
-def pick(quick_value, full_value):
-    """Deprecated alias for :func:`repro.runner.scale.pick`."""
-    warnings.warn(
-        "repro.experiments.common.pick is deprecated; "
-        "use repro.runner.scale.pick",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _scale.pick(quick_value, full_value)
-
-
-def seeds_for(repetitions: int, base: int = 1000) -> List[int]:
-    """Deprecated alias for :func:`repro.runner.scale.seeds_for`."""
-    warnings.warn(
-        "repro.experiments.common.seeds_for is deprecated; "
-        "use repro.runner.scale.seeds_for",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _scale.seeds_for(repetitions, base=base)
 
 
 def results_dir() -> Path:

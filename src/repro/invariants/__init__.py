@@ -19,6 +19,7 @@ turns those properties into declarative, always-cheap runtime checks:
 """
 
 from repro.invariants.guard import (
+    INVARIANTS_ENV,
     MODES,
     InvariantConfig,
     InvariantGuard,
@@ -28,6 +29,7 @@ from repro.invariants.guard import (
 )
 
 __all__ = [
+    "INVARIANTS_ENV",
     "MODES",
     "InvariantConfig",
     "InvariantGuard",

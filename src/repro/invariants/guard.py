@@ -20,8 +20,12 @@ DESIGN.md §10 catalog lists the equation behind every guard):
 * ``rp.bounds`` — ``alpha ∈ [0, 1]`` (Equation 2 is a convex
   combination) and ``min_rate ≤ R_C ≤ line_rate``,
   ``R_C ≤ R_T ≤ line_rate`` after every RP update (Equations 1-4).
+* ``cc.bounds`` — for :mod:`repro.cc` controllers without a
+  ReactionPoint: any advertised rate stays in ``(0, line_rate]`` and
+  any advertised congestion window stays at/above its floor.
 * ``nic.cnp_conservation`` — fleet-wide, CNPs received plus CNPs
-  dropped by scripted impairments never exceed CNPs sent.
+  dropped by scripted impairments never exceed CNPs sent (switch-
+  originated FNCC CNPs count as sent).
 
 The sweep checks run on the simulation event loop at
 ``check_interval_ns`` (and once more when the run finalizes); the
@@ -36,6 +40,11 @@ from typing import Any, Dict, List, Optional, Tuple
 
 #: supported guard modes
 MODES = ("report", "strict")
+
+#: environment variable selecting a guard mode for experiments that
+#: arm the guard themselves (the CC arena); ``repro run <experiment>
+#: --invariants <mode>`` sets it for the invocation
+INVARIANTS_ENV = "REPRO_INVARIANTS"
 
 #: default number of periodic sweeps across a run horizon
 _DEFAULT_SWEEPS = 32
@@ -326,7 +335,11 @@ class InvariantGuard:
                     )
 
     def _check_cnp_conservation(self, net) -> None:
-        """Fleet-wide: CNPs received + dropped never exceed CNPs sent."""
+        """Fleet-wide: CNPs received + dropped never exceed CNPs sent.
+
+        Senders are receiver NICs (the DCQCN NP) *and* switches (the
+        FNCC fast-notification path originates CNPs at mark time).
+        """
         self.checks += 1
         sent = received = dropped = 0
         for host in net.hosts:
@@ -334,6 +347,8 @@ class InvariantGuard:
             sent += nic.cnps_sent
             received += nic.cnps_received
             dropped += nic.cnps_dropped
+        for switch in net.switches:
+            sent += switch.cnps_sent
         if received + dropped > sent:
             self.violation(
                 "nic.cnp_conservation",
@@ -390,3 +405,33 @@ class InvariantGuard:
                 f"R_C={rp.rc_bps} fell below min_rate={rp.params.min_rate_bps} "
                 "after a cut",
             )
+
+    def on_cc_update(self, cc, event: str) -> None:
+        """Output bounds for controllers without a ReactionPoint.
+
+        RP-backed controllers are covered by :meth:`on_rp_update` (the
+        adapter wires the guard straight onto the RP); this hook guards
+        the rest: any advertised rate must lie in ``(0, line_rate]``
+        and any advertised window must stay at/above one packet's worth
+        of the controller's configured floor.
+        """
+        self.checks += 1
+        rate = cc.rate_bps()
+        line = cc.line_rate_bps
+        if rate is not None and line is not None:
+            slack = _REL_EPS * line
+            if rate <= 0 or rate > line + slack:
+                self.violation(
+                    "cc.bounds",
+                    cc.component,
+                    f"rate={rate} outside (0, line_rate={line}] after {event}",
+                )
+        cwnd = cc.cwnd_pkts()
+        if cwnd is not None:
+            floor = getattr(cc, "min_cwnd_pkts", 0.0)
+            if cwnd < floor - _REL_EPS or cwnd != cwnd:  # NaN-safe
+                self.violation(
+                    "cc.bounds",
+                    cc.component,
+                    f"cwnd={cwnd} fell below floor={floor} after {event}",
+                )

@@ -108,7 +108,16 @@ def decode_value(value: Any) -> Any:
 
 @dataclass(frozen=True)
 class FlowSpec:
-    """One flow of a scenario (see module docstring for locators)."""
+    """One flow of a scenario (see module docstring for locators).
+
+    ``cc_params`` carries scalar per-controller overrides, forwarded
+    verbatim to :meth:`~repro.sim.network.Network.add_flow` (each
+    controller validates its own keys).  A non-greedy flow may instead
+    be a *message probe*: ``message_bytes`` queues one message of that
+    size at ``message_start_ns``, and the run records its completion
+    time as the counter ``fct_ns.<name>`` (−1 if it did not finish
+    inside the horizon).
+    """
 
     name: str
     src: str
@@ -118,6 +127,30 @@ class FlowSpec:
     start_ns: int = 0
     initial_rate_bps: Optional[float] = None
     greedy: bool = True
+    cc_params: Optional[Dict[str, Any]] = None
+    message_bytes: Optional[int] = None
+    message_start_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cc_params is not None:
+            for key, value in self.cc_params.items():
+                if not isinstance(key, str):
+                    raise TypeError(f"cc_params keys must be strings, got {key!r}")
+                if not isinstance(value, (bool, int, float, str)):
+                    raise TypeError(
+                        f"cc_params[{key!r}] must be a scalar, "
+                        f"got {type(value).__name__}"
+                    )
+        if self.message_bytes is not None:
+            if self.message_bytes <= 0:
+                raise ValueError("message_bytes must be positive")
+            if self.greedy:
+                raise ValueError(
+                    "a message probe cannot also be greedy; "
+                    "set greedy=False"
+                )
+        if self.message_start_ns < 0:
+            raise ValueError("message_start_ns must be >= 0")
 
 
 #: topology name -> builder; extended via :func:`register_topology`
@@ -321,6 +354,7 @@ def run_scenario_inline(
     if profiler is not None:
         profiler.install(net.engine)
     flows = []
+    probes_by_flow = []
     for flow_spec in scenario.flows:
         kwargs: Dict[str, Any] = {
             "cc": flow_spec.cc,
@@ -329,9 +363,18 @@ def run_scenario_inline(
         }
         if flow_spec.initial_rate_bps is not None:
             kwargs["initial_rate_bps"] = flow_spec.initial_rate_bps
+        if flow_spec.cc_params:
+            kwargs["cc_params"] = flow_spec.cc_params
         flow = net.add_flow(resolve(flow_spec.src), resolve(flow_spec.dst), **kwargs)
         if flow_spec.greedy:
             flow.set_greedy()
+        elif flow_spec.message_bytes is not None:
+            net.engine.schedule_at(
+                flow_spec.message_start_ns,
+                flow.send_message,
+                flow_spec.message_bytes,
+            )
+            probes_by_flow.append((flow_spec.name, flow))
         flows.append((flow_spec.name, flow))
     _install_samplers(net, scenario, telemetry)
     fault_runtime = None
@@ -369,6 +412,13 @@ def run_scenario_inline(
     }
     for name, probe in probes.items():
         counters[name] = probe()
+    for name, flow in probes_by_flow:
+        fct = -1.0
+        for message in flow.messages:
+            if message.completed:
+                fct = float(message.fct_ns())
+                break
+        counters[f"fct_ns.{name}"] = fct
     result = RunResult(
         label=scenario.label,
         seed=seed,

@@ -9,9 +9,10 @@ user pairs issue transfers back to back).
 Transmission is paced by the NIC's per-flow hardware rate limiter: the
 flow exposes :meth:`Flow.ready_time`, the earliest instant its next
 packet may leave, and the NIC port pulls packets from the flow with the
-smallest ready time.  DCQCN attaches to a flow as a
-:class:`repro.core.rp.ReactionPoint` whose current rate drives the
-pacing gap.
+smallest ready time.  Congestion control attaches to a flow as a
+:class:`repro.cc.CongestionControl` whose rate output drives the
+pacing gap and whose window output (if any) gates eligibility; DCQCN
+is the controller wrapping a :class:`repro.core.rp.ReactionPoint`.
 
 Sequencing is go-back-N, matching RoCEv2 NICs: packets carry a
 sequence number, the receiver only accepts in-order arrivals, NACKs
@@ -28,8 +29,13 @@ from typing import TYPE_CHECKING, Callable, Deque, List, Optional, Tuple
 from repro.sim.packet import Packet, data_packet
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.cc.base import CongestionControl
     from repro.core.rp import ReactionPoint
     from repro.sim.nic import HostNic
+
+#: cap on in-flight RTT probes per flow (bounds memory; cumulative ACKs
+#: drain several probes at once so the cap is rarely binding)
+_MAX_RTT_PROBES = 64
 
 #: Sentinel "never" timestamp for flows with nothing to send.
 NEVER = 1 << 62
@@ -102,6 +108,7 @@ class Flow:
         start_ns: int = 0,
         rp: Optional["ReactionPoint"] = None,
         static_rate_bps: Optional[float] = None,
+        cc: Optional["CongestionControl"] = None,
     ):
         self.flow_id = flow_id
         self.src = src
@@ -109,9 +116,24 @@ class Flow:
         self.priority = priority
         self.mtu_bytes = mtu_bytes
         self.start_ns = start_ns
-        self.rp = rp
         if rp is not None:
-            rp.on_rate_change = self._on_rate_change
+            # legacy construction path: a bare ReactionPoint adapts to
+            # the cc interface (repro.cc is the canonical way in)
+            if cc is not None:
+                raise ValueError("pass either cc or rp, not both")
+            from repro.cc.dcqcn import DcqcnControl
+
+            cc = DcqcnControl(rp)
+        self.cc = cc
+        #: controller with an active congestion window (hot-path cache)
+        self._cwnd_source: Optional["CongestionControl"] = (
+            cc if cc is not None and cc.windowed else None
+        )
+        #: departure timestamps for the NIC's RTT sampler (wants_rtt)
+        self._sample_rtt = cc is not None and cc.wants_rtt
+        self._rtt_probes: Deque[Tuple[int, int]] = deque()
+        if cc is not None:
+            cc.bind(self)
         self._static_rate_bps = static_rate_bps
         # tx state
         self.greedy = False
@@ -142,10 +164,17 @@ class Flow:
     # --- rate ------------------------------------------------------------------
 
     @property
+    def rp(self) -> Optional["ReactionPoint"]:
+        """The controller's ReactionPoint, if it has one (introspection)."""
+        return self.cc.rp if self.cc is not None else None
+
+    @property
     def rate_bps(self) -> float:
         """Current pacing rate of the hardware rate limiter."""
-        if self.rp is not None:
-            return self.rp.rc_bps
+        if self.cc is not None:
+            rate = self.cc.rate_bps()
+            if rate is not None:
+                return rate
         if self._static_rate_bps is not None:
             return self._static_rate_bps
         return self.src.nic.line_rate_bps
@@ -205,9 +234,19 @@ class Flow:
         return self.greedy or self.next_seq < self.end_seq
 
     def ready_time(self) -> int:
-        """Earliest ns timestamp the next packet may be pulled, or NEVER."""
+        """Earliest ns timestamp the next packet may be pulled, or NEVER.
+
+        Window-based controllers close the flow (NEVER) once a full
+        cwnd is outstanding; an ACK reopens it.  In-window packets stay
+        line-rate paced — no super-line bursts.
+        """
         if not self.has_backlog():
             return NEVER
+        cwnd_source = self._cwnd_source
+        if cwnd_source is not None:
+            cwnd = cwnd_source.cwnd_pkts()
+            if cwnd is not None and self.next_seq - self.acked_seq >= int(cwnd):
+                return NEVER
         return self.next_send_ns if self.next_send_ns > self.start_ns else self.start_ns
 
     def take_packet(self, now_ns: int) -> Packet:
@@ -227,6 +266,8 @@ class Flow:
         self.next_seq = seq + 1
         self.packets_sent += 1
         self.bytes_sent += self.mtu_bytes
+        if self._sample_rtt and len(self._rtt_probes) < _MAX_RTT_PROBES:
+            self._rtt_probes.append((seq, now_ns))
         gap = int(self.mtu_bytes * 8e9 / self.rate_bps) + 1
         self._last_pull_ns = now_ns
         self._last_pull_bytes = self.mtu_bytes
@@ -258,18 +299,34 @@ class Flow:
             return  # stale feedback
         self.retransmitted_packets += self.next_seq - seq
         self.next_seq = seq
+        # retransmissions would yield bogus (inflated) RTT measurements
+        self._rtt_probes.clear()
         self.src.nic.flow_state_changed(self)
+
+    def take_rtt_sample(self, cum_seq: int, now_ns: int) -> Optional[int]:
+        """RTT of the newest departure a cumulative ACK covers, if any."""
+        probes = self._rtt_probes
+        sent_ns = None
+        while probes and probes[0][0] < cum_seq:
+            sent_ns = probes.popleft()[1]
+        if sent_ns is None:
+            return None
+        return now_ns - sent_ns
 
     def outstanding_packets(self) -> int:
         return self.next_seq - self.acked_seq
 
-    # --- hooks for alternative congestion controllers ----------------------------
+    # --- congestion-control signal forwarding -------------------------------------
 
     def on_transport_feedback(self, ece: bool, acked_seq: int) -> None:
-        """Per-ACK hook; window-based baselines (DCTCP) override this."""
+        """Per-ACK hook: forwards the echoed CE bit to the controller."""
+        if self.cc is not None:
+            self.cc.on_ecn_echo(ece, acked_seq)
 
     def on_qcn_feedback(self, quantized_fb: int) -> None:
-        """QCN congestion-feedback hook; the QCN baseline overrides this."""
+        """QCN congestion-feedback hook: forwards to the controller."""
+        if self.cc is not None:
+            self.cc.on_qcn_feedback(quantized_fb)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

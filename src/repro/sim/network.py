@@ -22,11 +22,11 @@ True
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Union
+from typing import List, Mapping, Optional, Union
 
 from repro import units
+from repro.cc import CcContext, create_cc, create_switch_feedback
 from repro.core.params import DCQCNParams
-from repro.core.rp import ReactionPoint
 from repro.sim.engine import EventScheduler
 from repro.sim.host import DATA_PRIORITY, Flow, Host
 from repro.sim.link import connect as connect_ports
@@ -87,8 +87,8 @@ class Network:
         for host in self.hosts:
             host.nic.tracer = tracer
         for flow in self.flows:
-            if flow.rp is not None:
-                flow.rp.tracer = tracer
+            if flow.cc is not None:
+                flow.cc.set_tracer(tracer)
         return telemetry
 
     @property
@@ -110,8 +110,8 @@ class Network:
         for switch in self.switches:
             switch.guard = guard
         for flow in self.flows:
-            if flow.rp is not None:
-                flow.rp.guard = guard
+            if flow.cc is not None:
+                flow.cc.set_guard(guard)
         return guard
 
     def metrics_snapshot(self) -> dict:
@@ -193,42 +193,55 @@ class Network:
         params: Optional[DCQCNParams] = None,
         static_rate_bps: Optional[float] = None,
         initial_rate_bps: Optional[float] = None,
+        cc_params: Optional[Mapping] = None,
     ) -> Flow:
         """Open a flow from ``src`` to ``dst``.
 
-        ``cc`` selects the congestion control:
+        ``cc`` names any controller in the :mod:`repro.cc` registry:
 
-        * ``"dcqcn"`` — the paper's protocol: RP at the sender, NP at
+        * ``"dcqcn"``  — the paper's protocol: RP at the sender, NP at
           the receiver (requires ECN-enabled switches to do anything).
-        * ``"none"``  — no end-to-end control; the flow runs at line
+        * ``"none"``   — no end-to-end control; the flow runs at line
           rate (or ``static_rate_bps``) and PFC is the only brake.
+        * ``"dctcp"``, ``"qcn"``, ``"timely"``, ``"fncc"`` — the
+          baselines and alternatives (see their modules).  Controllers
+          declaring ``switch_feedback`` (QCN frames, FNCC fast CNPs)
+          get the matching generator auto-installed on every switch —
+          build the topology before opening such flows.
 
-        ``initial_rate_bps`` (DCQCN only) seeds the reaction point at a
-        throttled rate when the flow starts — used by convergence
+        ``cc_params`` passes scalar per-controller overrides (each
+        controller documents and validates its accepted keys);
+        ``params`` overrides the DCQCN constants for controllers built
+        on them.  ``initial_rate_bps`` seeds rate-based controllers at
+        a throttled rate when the flow starts — used by convergence
         studies that begin from asymmetric rates (paper §5.2).
         """
         if src is dst:
             raise ValueError("src and dst must differ")
-        if cc not in ("dcqcn", "none"):
-            raise ValueError(f"unknown congestion control {cc!r}")
         flow_id = len(self.flows)
         effective = params or self.dcqcn_params
-        rp = None
-        if cc == "dcqcn":
-            rp = ReactionPoint(
-                self.engine,
-                effective,
-                src.nic.line_rate_bps,
-                timer_seed=self.rng.getrandbits(32),
-                flow_id=flow_id,
-                component=f"{src.name}.rp",
+        ctx = CcContext(
+            engine=self.engine,
+            line_rate_bps=src.nic.line_rate_bps,
+            params=effective,
+            flow_id=flow_id,
+            host_name=src.name,
+            rng=self.rng,
+            cc_params=dict(cc_params or {}),
+        )
+        controller = create_cc(cc, ctx)
+        if controller is not None:
+            controller.set_tracer(self.tracer)
+            controller.set_guard(self.invariant_guard)
+        if initial_rate_bps is not None:
+            if controller is None or not controller.supports_seed_rate:
+                raise ValueError(
+                    f"initial_rate_bps requires a seedable rate-based "
+                    f"controller, and cc={cc!r} is not one"
+                )
+            self.engine.schedule_at(
+                start_ns, controller.seed_rate, initial_rate_bps
             )
-            rp.tracer = self.tracer
-            rp.guard = self.invariant_guard
-            if initial_rate_bps is not None:
-                self.engine.schedule_at(start_ns, rp.seed_rate, initial_rate_bps)
-        elif initial_rate_bps is not None:
-            raise ValueError("initial_rate_bps requires cc='dcqcn'")
         flow = Flow(
             flow_id,
             src,
@@ -236,16 +249,44 @@ class Network:
             priority=priority,
             mtu_bytes=mtu_bytes,
             start_ns=start_ns,
-            rp=rp,
+            cc=controller,
             static_rate_bps=static_rate_bps,
         )
         self.flows.append(flow)
         src.flows.append(flow)
         src.nic.register_tx_flow(flow)
         dst.nic.register_rx_flow(
-            flow, dcqcn_params=effective if cc == "dcqcn" else None
+            flow,
+            dcqcn_params=(
+                effective
+                if controller is not None and controller.wants_cnp
+                else None
+            ),
+            echo_ecn=(
+                controller is not None
+                and (controller.wants_ecn_echo or controller.wants_rtt)
+            ),
         )
+        if controller is not None and controller.switch_feedback is not None:
+            self._ensure_switch_feedback(controller.switch_feedback, flow_id)
         return flow
+
+    def _ensure_switch_feedback(self, kind: str, flow_id: int) -> None:
+        """Install (once per switch) and arm the feedback generator ``kind``.
+
+        Switches that already carry a generator of this kind (e.g. a
+        pre-built ``QcnSwitch``) are not given a second one — that
+        would double-sample.
+        """
+        for switch in self.switches:
+            generators = switch.cc_feedback or ()
+            generator = next(
+                (g for g in generators if g.kind == kind), None
+            )
+            if generator is None:
+                generator = create_switch_feedback(kind, switch)
+                switch.add_cc_feedback(generator)
+            generator.watch(flow_id)
 
     def register_flow(self, flow: Flow, **rx_kwargs) -> None:
         """Register an externally constructed flow (baseline transports)."""
@@ -253,6 +294,9 @@ class Network:
             raise ValueError(
                 f"flow id {flow.flow_id} out of order; use next_flow_id()"
             )
+        if flow.cc is not None:
+            flow.cc.set_tracer(self.tracer)
+            flow.cc.set_guard(self.invariant_guard)
         self.flows.append(flow)
         flow.src.flows.append(flow)
         flow.src.nic.register_tx_flow(flow)

@@ -14,8 +14,10 @@ covers the pieces the paper's behaviour depends on:
 * **NP algorithm** — per-flow CNP generation for ECN-marked arrivals
   (:class:`repro.core.np.NotificationPoint`), with CNPs transmitted in
   the high-priority control class.
-* **RP dispatch** — received CNPs are handed to the flow's
-  :class:`repro.core.rp.ReactionPoint`.
+* **CC dispatch** — received congestion signals (CNPs, per-ACK ECN
+  echoes, QCN feedback frames, measured RTT samples) are dispatched
+  uniformly to the flow's :class:`repro.cc.CongestionControl`; for
+  DCQCN that controller wraps :class:`repro.core.rp.ReactionPoint`.
 * **Go-back-N reliability** — out-of-order arrivals are dropped and
   NACKed; senders rewind on NACK or on a retransmission timeout.  On a
   correctly configured lossless fabric this machinery stays cold; with
@@ -217,8 +219,8 @@ class HostNic(Device):
     def tx_complete(self, port: Port, pkt: Packet) -> None:
         if pkt.kind == KIND_DATA:
             flow = self._tx_flows.get(pkt.flow_id)
-            if flow is not None and flow.rp is not None:
-                flow.rp.on_bytes_sent(pkt.size)
+            if flow is not None and flow.cc is not None:
+                flow.cc.on_bytes_sent(pkt.size)
 
     def _send_control(self, pkt: Packet) -> None:
         self._control.append(pkt)
@@ -254,6 +256,10 @@ class HostNic(Device):
             flow = self._tx_flows[pkt.flow_id]
             flow.on_ack(pkt.seq, pkt.msg_id)
             flow.on_transport_feedback(ece=bool(pkt.qcn_fb), acked_seq=pkt.seq)
+            if flow._sample_rtt:
+                rtt = flow.take_rtt_sample(pkt.seq, self.engine.now)
+                if rtt is not None:
+                    flow.cc.on_rtt_sample(rtt)
         elif kind == KIND_NACK:
             flow = self._tx_flows[pkt.flow_id]
             flow.rewind_to(pkt.seq)
@@ -282,11 +288,11 @@ class HostNic(Device):
             raise ValueError(f"{self.name}: unexpected packet {pkt!r}")
 
     def _deliver_cnp(self, pkt: Packet) -> None:
-        """Hand a CNP to the flow's RP (also the delayed-delivery path)."""
+        """Hand a CNP to the flow's controller (also the delayed-delivery path)."""
         self.cnps_received += 1
         flow = self._tx_flows[pkt.flow_id]
-        if flow.rp is not None:
-            flow.rp.on_cnp()
+        if flow.cc is not None:
+            flow.cc.on_cnp()
 
     def _receive_data(self, pkt: Packet) -> None:
         self.data_received += 1

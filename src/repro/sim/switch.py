@@ -45,6 +45,7 @@ from repro.sim.link import Port
 from repro.sim.packet import (
     ECN_CE,
     ECN_ECT,
+    KIND_DATA,
     KIND_PAUSE,
     KIND_RESUME,
     Packet,
@@ -139,6 +140,13 @@ class Switch(Device):
         #: invariant guard (repro.invariants), attached by the Network;
         #: None keeps the dequeue hot path to a single attribute test
         self.guard = None
+        #: switch-side congestion-feedback generators (repro.cc): a
+        #: tuple of objects with ``on_enqueue(switch, pkt, egress,
+        #: marked)``, called for every enqueued data packet.  None (the
+        #: common case) keeps the hot path to a single attribute test.
+        self.cc_feedback = None
+        #: CNPs originated by this switch (FNCC-style fast notification)
+        self.cnps_sent = 0
         # counters
         self.dropped_packets = 0
         self.dropped_bytes = 0
@@ -250,11 +258,13 @@ class Switch(Device):
                 return
         prio = pkt.priority
         # CP algorithm: RED/ECN on the instantaneous egress queue depth.
+        marked = False
         if (
             self.config.ecn_enabled
             and pkt.ecn == ECN_ECT
             and self._marker.should_mark(self._egress_bytes[egress_index][prio])
         ):
+            marked = True
             pkt.ecn = ECN_CE
             self.marked_packets += 1
             if self.tracer is not None:
@@ -278,6 +288,13 @@ class Switch(Device):
         self.forwarded_packets += 1
         self._maybe_pause(ingress_index, prio)
         self.ports[egress_index].notify()
+        if self.cc_feedback is not None and pkt.kind == KIND_DATA:
+            for generator in self.cc_feedback:
+                generator.on_enqueue(self, pkt, egress_index, marked)
+
+    def add_cc_feedback(self, generator) -> None:
+        """Install a switch-side congestion-feedback generator."""
+        self.cc_feedback = (*(self.cc_feedback or ()), generator)
 
     def next_packet(self, port: Port) -> Optional[Packet]:
         index = port.index

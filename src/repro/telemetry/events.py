@@ -20,6 +20,8 @@ event type                level  meaning
 ``np.cnp_coalesced``      full   NP suppressed a CNP (inside the N window)
 ``rp.cut``                cc     RP rate cut on CNP (Equation 1)
 ``rp.increase``           cc     RP increase step (Figure 7 state machine)
+``cc.cut``                cc     non-RP controller entered a decrease episode
+``cc.rate``               full   non-RP controller changed its pacing rate
 ``pfc.pause_tx``          cc     switch sent a PAUSE upstream
 ``pfc.resume_tx``         cc     switch sent a RESUME upstream
 ``pfc.pause_rx``          cc     device received a PAUSE
@@ -56,6 +58,8 @@ NP_CNP_TX = "np.cnp_tx"
 NP_CNP_COALESCED = "np.cnp_coalesced"
 RP_CUT = "rp.cut"
 RP_INCREASE = "rp.increase"
+CC_CUT = "cc.cut"
+CC_RATE = "cc.rate"
 PFC_PAUSE_TX = "pfc.pause_tx"
 PFC_RESUME_TX = "pfc.resume_tx"
 PFC_PAUSE_RX = "pfc.pause_rx"
@@ -86,6 +90,7 @@ CC_EVENTS = frozenset(
         NP_CNP_TX,
         RP_CUT,
         RP_INCREASE,
+        CC_CUT,
         PFC_PAUSE_TX,
         PFC_RESUME_TX,
         PFC_PAUSE_RX,
@@ -108,6 +113,7 @@ FULL_EVENTS = frozenset(
     {
         CP_ECN_MARK,
         NP_CNP_COALESCED,
+        CC_RATE,
         SAMPLE_QUEUE,
         SAMPLE_RATE,
         FAULT_CNP_DELAY,
@@ -144,6 +150,8 @@ TRACE_SCHEMA: Dict[str, Tuple[str, ...]] = {
     NP_CNP_COALESCED: ("flow",),
     RP_CUT: ("flow", "rc_bps", "rt_bps", "alpha"),
     RP_INCREASE: ("flow", "phase", "rc_bps", "rt_bps"),
+    CC_CUT: ("flow", "cc"),
+    CC_RATE: ("flow", "cc", "rate_bps"),
     PFC_PAUSE_TX: ("port", "prio"),
     PFC_RESUME_TX: ("port", "prio"),
     PFC_PAUSE_RX: ("prio",),

@@ -85,8 +85,8 @@ class UserTrafficWorkload:
             pair.flow.send_message(self.distribution.sample(self.rng))
 
     def _next_message(self, flow: Flow, message: Message) -> None:
-        if self.fresh_qp_per_message and flow.rp is not None:
-            flow.rp.reset_to_line_rate()
+        if self.fresh_qp_per_message and flow.cc is not None:
+            flow.cc.reset_to_line_rate()
         flow.send_message(self.distribution.sample(self.rng))
 
     # --- metrics ---------------------------------------------------------------

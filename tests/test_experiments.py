@@ -30,17 +30,24 @@ from repro.experiments.multibottleneck import run_parking_lot
 from repro.experiments.pfc_pathologies import run_unfairness, run_victim_flow
 from repro.experiments.qcn_ablation import run_single_switch_fairness
 from repro.experiments.sweeps import fig11_table, run_fig11_panel, run_fig12
+from repro.runner import scale
 
 
 class TestCommon:
     def test_scale_default(self, monkeypatch):
         monkeypatch.delenv(common.SCALE_ENV, raising=False)
         assert common.scale() == "quick"
-        assert common.pick(1, 2) == 1
+        assert scale.pick(1, 2) == 1
 
     def test_scale_full(self, monkeypatch):
         monkeypatch.setenv(common.SCALE_ENV, "full")
-        assert common.pick(1, 2) == 2
+        assert scale.pick(1, 2) == 2
+
+    def test_shims_removed(self):
+        # the PR-1 deprecation aliases are gone; repro.runner.scale is
+        # the one true home of the scale/seed policy
+        assert not hasattr(common, "pick")
+        assert not hasattr(common, "seeds_for")
 
     def test_scale_invalid(self, monkeypatch):
         monkeypatch.setenv(common.SCALE_ENV, "enormous")
@@ -59,7 +66,7 @@ class TestCommon:
         assert path.read_text() == "hello\n"
 
     def test_seeds_are_distinct(self):
-        seeds = common.seeds_for(10)
+        seeds = scale.seeds_for(10)
         assert len(set(seeds)) == 10
 
 
