@@ -1,5 +1,18 @@
 """Statistics and trace-analysis helpers used by experiments and benchmarks."""
 
+from repro.analysis.fct import (
+    MICE_THRESHOLD_BYTES,
+    SlowdownSummary,
+    base_rtt_ns,
+    bucket_of,
+    fct_table,
+    ideal_fct_ns,
+    records_from_runs,
+    slowdown,
+    slowdown_cdf,
+    slowdowns,
+    summarize_slowdowns,
+)
 from repro.analysis.stats import (
     percentile,
     cdf_points,
@@ -17,6 +30,17 @@ from repro.analysis.trace import (
 )
 
 __all__ = [
+    "MICE_THRESHOLD_BYTES",
+    "SlowdownSummary",
+    "base_rtt_ns",
+    "bucket_of",
+    "fct_table",
+    "ideal_fct_ns",
+    "records_from_runs",
+    "slowdown",
+    "slowdown_cdf",
+    "slowdowns",
+    "summarize_slowdowns",
     "percentile",
     "cdf_points",
     "jain_fairness",

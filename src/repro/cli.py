@@ -37,6 +37,13 @@ CC arena and perf baselines (see DESIGN.md §11)::
     python -m repro bench                          # events/sec baselines
     python -m repro bench smoke --dry-run          # measure, don't record
 
+Figure rendering (see DESIGN.md §12)::
+
+    python -m repro plot                           # every figure family
+    python -m repro plot fct                       # slowdown CDFs
+    python -m repro plot grid --metric eleph_p99   # grid heatmap
+    python -m repro plot queues --out-dir /tmp/f   # Fig 19 queue CDFs
+
 Each command prints the same rows the corresponding benchmark emits.
 The dispatch table is :data:`repro.runner.REGISTRY`, populated by
 :mod:`repro.experiments.catalog`; ``--jobs`` / ``--no-cache`` set the
@@ -450,6 +457,159 @@ def bench_main(argv: Sequence[str]) -> int:
     return 0
 
 
+#: ``repro plot`` targets; ``all`` renders every one of them
+PLOT_KINDS = ("fct", "queues", "grid")
+
+#: grid heatmap metrics: bucket x percentile of slowdown
+GRID_METRICS = ("mice_p50", "mice_p99", "eleph_p50", "eleph_p99")
+
+
+def plot_main(argv: Sequence[str]) -> int:
+    """``python -m repro plot [fct|queues|grid|all]`` — render figures.
+
+    Artifacts land under ``results/figures/`` as SVG (always, pure
+    stdlib) and PNG (when matplotlib happens to be installed).  Every
+    underlying experiment runs through the cached executor, so
+    re-plotting a sweep that already ran renders from cache without
+    recomputing a single cell.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro plot",
+        description="Render slowdown CDFs, queue CDFs and grid heatmaps.",
+    )
+    parser.add_argument(
+        "kind",
+        nargs="?",
+        default="all",
+        choices=PLOT_KINDS + ("all",),
+        help="which figure family to render (default: all)",
+    )
+    parser.add_argument(
+        "--out-dir",
+        default=None,
+        metavar="DIR",
+        help="figure directory (default: results/figures)",
+    )
+    parser.add_argument(
+        "--metric",
+        choices=GRID_METRICS,
+        default="mice_p99",
+        help="grid heatmap cell value (default: mice_p99)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=SCALES,
+        default=None,
+        help="override REPRO_SCALE for this invocation",
+    )
+    parser.add_argument(
+        "--jobs",
+        default=None,
+        type=_jobs_arg,
+        help="worker processes for cell fan-out (sets REPRO_JOBS)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute everything, ignoring results/.cache/",
+    )
+    args = parser.parse_args(argv)
+    if args.scale is not None:
+        os.environ[SCALE_ENV] = args.scale
+    if args.jobs is not None:
+        os.environ[JOBS_ENV] = str(args.jobs)
+    if args.no_cache:
+        os.environ[CACHE_ENV] = "off"
+
+    from pathlib import Path
+
+    from repro.analysis import fct
+    from repro.analysis.figures import write_heatmap, write_line_chart
+    from repro.runner.cache import results_dir
+
+    out_dir = Path(args.out_dir) if args.out_dir else results_dir() / "figures"
+    kinds = PLOT_KINDS if args.kind == "all" else (args.kind,)
+    written = []
+
+    if "fct" in kinds:
+        from repro.experiments.fct_grid import BENCHMARK_HOPS, run_benchmark_fct
+
+        runs, summaries = run_benchmark_fct()
+        records = fct.records_from_runs(runs)
+        rtt = fct.base_rtt_ns(hops=BENCHMARK_HOPS)
+        cdfs = fct.slowdown_cdf(records, rtt)
+        if not cdfs:
+            print("no completed transfers to plot", file=sys.stderr)
+            return 3
+        written += write_line_chart(
+            out_dir / "fct_slowdown_cdf",
+            cdfs,
+            title="Benchmark traffic: FCT slowdown CDF",
+            xlabel="slowdown (FCT / ideal FCT)",
+            ylabel="fraction of transfers",
+        )
+        print(fct.fct_table(summaries))
+
+    if "queues" in kinds:
+        from repro.analysis.stats import cdf_points
+        from repro.experiments.latency import run_fig19
+
+        series = {
+            result.protocol: [
+                (bytes_ / 1e3, frac)
+                for bytes_, frac in cdf_points(result.samples_bytes)
+            ]
+            for result in run_fig19()
+        }
+        written += write_line_chart(
+            out_dir / "queue_cdf",
+            series,
+            title="Egress queue CDF: DCQCN vs DCTCP (Fig 19)",
+            xlabel="queue length (KB)",
+            ylabel="fraction of samples",
+        )
+
+    if "grid" in kinds:
+        from repro.experiments.fct_grid import (
+            grid_table,
+            point_summaries,
+            run_fct_grid,
+        )
+
+        sweep = run_fct_grid()
+        summaries = point_summaries(sweep)
+        bucket = "mice" if args.metric.startswith("mice") else "elephants"
+        quantile = "p50" if args.metric.endswith("p50") else "p99"
+        profiles = sorted({tuple(p.value)[:3] for p in sweep.points})
+        degrees = sorted({tuple(p.value)[3] for p in sweep.points})
+        grid = [
+            [
+                (
+                    getattr(summary[bucket], quantile)
+                    if (summary := summaries.get((*profile, degree)))
+                    and bucket in summary
+                    else None
+                )
+                for degree in degrees
+            ]
+            for profile in profiles
+        ]
+        written += write_heatmap(
+            out_dir / f"fct_grid_{args.metric}",
+            [str(d) for d in degrees],
+            [f"K{k}/{m} P{p:g}" for k, m, p in profiles],
+            grid,
+            title=f"slowdown {args.metric} over (Kmin, Kmax, Pmax) x incast",
+            xlabel="incast degree",
+            ylabel="marking profile (Kmin KB / Kmax KB, Pmax)",
+        )
+        print(grid_table(sweep))
+
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
 def faults_main(argv: Sequence[str]) -> int:
     """``python -m repro faults list|example`` — the injector vocabulary."""
     parser = argparse.ArgumentParser(
@@ -523,6 +683,12 @@ def run_scenario_main(scenario_id: str, args) -> int:
         return 3
     print(f"=== scenario {scenario_id}: {scenario.label or scenario_id} ===")
     print(result.table())
+    if result.flow_stats:
+        completed = [r for r in result.flow_stats_records() if r.completed]
+        print(
+            f"flow_stats: {len(result.flow_stats)} rows, "
+            f"{len(completed)} completed transfers"
+        )
     report = result.invariant_report
     if report:
         print(
@@ -550,6 +716,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return faults_main(argv[1:])
     if argv and argv[0] == "bench":
         return bench_main(argv[1:])
+    if argv and argv[0] == "plot":
+        return plot_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.scale is not None:
         os.environ[SCALE_ENV] = args.scale

@@ -16,21 +16,24 @@ traffic and seed conditions.  The arena stages a tournament:
 Every scenario also carries two *message probes* running the same
 controller as the greedy flows:
 
-* ``fct_probe`` — a fixed-size transfer launched into the standing
-  congestion (the FCT proxy);
-* ``recovery_probe`` — the same transfer, but the sender starts
-  throttled to 1% of line rate (when the controller supports rate
-  seeding; windowed controllers start in their native slow start).
-  Its completion time measures how fast the controller climbs back —
-  the recovery-time proxy.
+* ``fct_probe`` — a closed-loop stream of fixed-size transfers
+  launched into the standing congestion; every transfer's completion
+  time is recorded in the run's ``FlowStats`` table, giving a real
+  per-flow FCT population (not a proxy) to take percentiles over;
+* ``recovery_probe`` — a single transfer whose sender starts
+  throttled to a fraction of line rate (when the controller supports
+  rate seeding; windowed controllers start in their native slow
+  start).  Its completion time measures how fast the controller
+  climbs back — the recovery-time proxy.
 
 Each (controller, scenario) cell is scored on Jain fairness across
-the greedy flows, the two probe FCTs, PAUSE frames and drops, with
-the invariant guard armed (``REPRO_INVARIANTS`` selects report /
-strict).  The league table ranks controllers per metric per scenario
-and sorts by mean rank.  Scores are *simulation* outcomes under this
-repo's models — a small-league benchmark harness, not a verdict on
-the protocols.
+the greedy flows, the probe-stream FCT and its slowdown tail
+(p50/p99 of FCT over ideal-FCT), the recovery FCT, PAUSE frames and
+drops, with the invariant guard armed (``REPRO_INVARIANTS`` selects
+report / strict).  The league table ranks controllers per metric per
+scenario and sorts by mean rank.  Scores are *simulation* outcomes
+under this repo's models — a small-league benchmark harness, not a
+verdict on the protocols.
 """
 
 from __future__ import annotations
@@ -63,10 +66,19 @@ RECOVERY_BYTES = 50 * 1000
 #: throttled seed rate of the recovery probe (fraction of line rate)
 RECOVERY_SEED_FRACTION = 0.1
 
+#: fct_probe message budget no horizon reaches: stream until end of run
+PROBE_STREAM = 1 << 20
+
+#: store-and-forward switch hops on each maze's probe path, for the
+#: ideal-FCT model behind the slowdown columns
+ARENA_HOPS = {"incast": 1, "victim": 5, "multibottleneck": 2}
+
 LEAGUE_HEADERS = [
     "cc",
     "Jain",
     "fct ms",
+    "slow p50",
+    "slow p99",
     "recovery ms",
     "pause",
     "drops",
@@ -119,6 +131,7 @@ def _probes(
             greedy=False,
             message_bytes=PROBE_BYTES,
             message_start_ns=warmup_ns,
+            message_count=PROBE_STREAM,
         ),
         FlowSpec(
             name="recovery_probe",
@@ -205,8 +218,10 @@ class ArenaScore:
     cc: str
     scenario: str
     fairness: float
-    fct_ns: float  # inf when a probe missed the horizon
-    recovery_ns: float  # inf when a probe missed the horizon
+    fct_ns: float  # inf when no probe transfer completed
+    slow_p50: float  # slowdown percentiles over the fct_probe stream
+    slow_p99: float
+    recovery_ns: float  # inf when the probe missed the horizon
     pause_frames: float
     drops: float
     violations: float
@@ -216,13 +231,19 @@ class ArenaScore:
     def _ms(value_ns: float) -> str:
         return "—" if value_ns == float("inf") else f"{value_ns / 1e6:.3f}"
 
+    @staticmethod
+    def _x(value: float) -> str:
+        return "—" if value == float("inf") else f"{value:.2f}"
+
     def row(self) -> List[str]:
         if self.failures:
-            return [self.cc, "FAILED", "—", "—", "—", "—", "—"]
+            return [self.cc, "FAILED"] + ["—"] * (len(LEAGUE_HEADERS) - 2)
         return [
             self.cc,
             f"{self.fairness:.3f}",
             self._ms(self.fct_ns),
+            self._x(self.slow_p50),
+            self._x(self.slow_p99),
             self._ms(self.recovery_ns),
             f"{self.pause_frames:.0f}",
             f"{self.drops:.0f}",
@@ -269,6 +290,7 @@ class ArenaResult:
         metric_ranks = (
             rank_by({c: s.fairness for c, s in cells.items()}, reverse=True),
             rank_by({c: s.fct_ns for c, s in cells.items()}, reverse=False),
+            rank_by({c: s.slow_p99 for c, s in cells.items()}, reverse=False),
             rank_by({c: s.recovery_ns for c, s in cells.items()}, reverse=False),
             rank_by({c: s.pause_frames for c, s in cells.items()}, reverse=False),
         )
@@ -303,7 +325,7 @@ class ArenaResult:
         ]
         sections.append(
             "-- league standings (mean rank over "
-            f"{len(self.scenarios)} scenarios × 4 metrics) --\n"
+            f"{len(self.scenarios)} scenarios × 5 metrics) --\n"
             + format_table(["#", "cc", "mean rank"], standing_rows)
         )
         mode = os.environ.get(INVARIANTS_ENV, "report")
@@ -323,10 +345,21 @@ def _aggregate(
 ) -> ArenaScore:
     """Fold one sweep point's runs into a score (means across seeds)."""
 
+    from repro.analysis import fct as fct_mod
+    from repro.analysis.stats import percentile
+
     def mean(values: Sequence[float]) -> float:
         return sum(values) / len(values) if values else float("inf")
 
+    def probe_records(run, name: str):
+        return [r for r in run.flow_stats_records() if r.flow == name]
+
     def probe_ns(run, name: str) -> float:
+        # first completed transfer of the probe, from the FlowStats
+        # table; the legacy counter is the REPRO_FLOWSTATS=off fallback
+        for record in probe_records(run, name):
+            if record.fct_ns is not None:
+                return float(record.fct_ns)
         value = run.counters.get(f"fct_ns.{name}", -1.0)
         return float("inf") if value < 0 else value
 
@@ -338,12 +371,17 @@ def _aggregate(
             scenario=scenario_id,
             fairness=0.0,
             fct_ns=float("inf"),
+            slow_p50=float("inf"),
+            slow_p99=float("inf"),
             recovery_ns=float("inf"),
             pause_frames=float("inf"),
             drops=float("inf"),
             violations=float("inf"),
             failures=len(point.failures),
         )
+    rtt = fct_mod.base_rtt_ns(hops=ARENA_HOPS[scenario_id])
+    stream = [r for run in runs for r in probe_records(run, "fct_probe")]
+    slow = fct_mod.slowdowns(stream, rtt)
     return ArenaScore(
         cc=cc,
         scenario=scenario_id,
@@ -354,6 +392,8 @@ def _aggregate(
             ]
         ),
         fct_ns=mean([probe_ns(run, "fct_probe") for run in runs]),
+        slow_p50=percentile(slow, 50) if slow else float("inf"),
+        slow_p99=percentile(slow, 99) if slow else float("inf"),
         recovery_ns=mean([probe_ns(run, "recovery_probe") for run in runs]),
         pause_frames=mean([run.counters.get("pause_frames", 0.0) for run in runs]),
         drops=mean([run.counters.get("drops", 0.0) for run in runs]),

@@ -214,6 +214,26 @@ def arena() -> str:
     return run_arena().table()
 
 
+@experiment("fct", "benchmark-traffic FCT slowdown, mice vs elephants")
+def fct_benchmark() -> str:
+    from repro.analysis.fct import fct_table
+    from repro.experiments.fct_grid import run_benchmark_fct
+
+    runs, summaries = run_benchmark_fct()
+    transfers = sum(len(run.flow_stats) for run in runs)
+    return (
+        fct_table(summaries)
+        + f"\n{transfers} flow_stats rows over {len(runs)} repetitions"
+    )
+
+
+@experiment("fctgrid", "(Kmin, Kmax, Pmax) x incast grid, scored on slowdown")
+def fctgrid() -> str:
+    from repro.experiments.fct_grid import grid_table, run_fct_grid
+
+    return grid_table(run_fct_grid())
+
+
 @experiment("chaos", "scripted fault injection: PAUSE storms, flaps, recovery")
 def chaos() -> str:
     from repro.experiments.chaos import run_chaos
@@ -297,3 +317,10 @@ def chaos_named_scenario():
     from repro.experiments.chaos import chaos_scenario
 
     return chaos_scenario(0.5)
+
+
+@scenario("benchmark", "Fig 16 benchmark traffic: user message streams + incast")
+def benchmark_named_scenario():
+    from repro.experiments.fct_grid import benchmark_scenario
+
+    return benchmark_scenario()

@@ -108,6 +108,11 @@ class RunResult:
     #: scenario carried no :class:`~repro.invariants.InvariantConfig`
     #: and armed no watchdog); see DESIGN.md §10
     invariant_report: Dict[str, Any] = field(default_factory=dict)
+    #: the per-flow FCT table: one JSON row per message transfer (and
+    #: one per greedy flow) in the shape of
+    #: :class:`repro.telemetry.flowstats.FlowStats`; empty when the run
+    #: predates FCT recording or ``REPRO_FLOWSTATS=off``
+    flow_stats: List[Dict[str, Any]] = field(default_factory=list)
 
     def throughput_gbps(self, flow: str) -> float:
         return self.flows_bps[flow] / 1e9
@@ -130,6 +135,12 @@ class RunResult:
             raise KeyError(f"no histogram {name!r} in this result") from None
         return Histogram.from_json(name, data)
 
+    def flow_stats_records(self):
+        """Rehydrate :class:`~repro.telemetry.flowstats.FlowStats` rows."""
+        from repro.telemetry.flowstats import stats_from_json
+
+        return stats_from_json(self.flow_stats)
+
     def to_json(self) -> Dict[str, Any]:
         return {
             "label": self.label,
@@ -141,6 +152,7 @@ class RunResult:
             "samples": {k: list(v) for k, v in self.samples.items()},
             "metrics": self.metrics,
             "invariant_report": self.invariant_report,
+            "flow_stats": [dict(row) for row in self.flow_stats],
         }
 
     @classmethod
@@ -155,6 +167,7 @@ class RunResult:
             samples={k: list(v) for k, v in data.get("samples", {}).items()},
             metrics=data.get("metrics", {}),
             invariant_report=data.get("invariant_report", {}),
+            flow_stats=[dict(row) for row in data.get("flow_stats", [])],
         )
 
     def table(self) -> str:

@@ -29,7 +29,9 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro import units
 from repro.runner.executor import Cell, execute
 from repro.runner.results import RunFailure, RunResult, SweepPoint, SweepResult
+from repro.sim import host as sim_host
 from repro.telemetry import Telemetry, TelemetrySpec
+from repro.telemetry.flowstats import collect_flow_stats
 
 #: config dataclasses that may appear in ``topology_kwargs``
 _KIND_KEY = "__kind__"
@@ -116,7 +118,10 @@ class FlowSpec:
     be a *message probe*: ``message_bytes`` queues one message of that
     size at ``message_start_ns``, and the run records its completion
     time as the counter ``fct_ns.<name>`` (−1 if it did not finish
-    inside the horizon).
+    inside the horizon).  ``message_count`` turns the probe into a
+    closed-loop stream: each completion immediately queues the next
+    transfer, back to back, the paper's Fig 16 benchmark-traffic shape;
+    every transfer lands as its own row in ``RunResult.flow_stats``.
     """
 
     name: str
@@ -130,6 +135,7 @@ class FlowSpec:
     cc_params: Optional[Dict[str, Any]] = None
     message_bytes: Optional[int] = None
     message_start_ns: int = 0
+    message_count: int = 1
 
     def __post_init__(self) -> None:
         if self.cc_params is not None:
@@ -151,6 +157,10 @@ class FlowSpec:
                 )
         if self.message_start_ns < 0:
             raise ValueError("message_start_ns must be >= 0")
+        if self.message_count < 1:
+            raise ValueError("message_count must be >= 1")
+        if self.message_count > 1 and self.message_bytes is None:
+            raise ValueError("message_count needs message_bytes")
 
 
 #: topology name -> builder; extended via :func:`register_topology`
@@ -374,6 +384,19 @@ def run_scenario_inline(
                 flow.send_message,
                 flow_spec.message_bytes,
             )
+            if flow_spec.message_count > 1:
+                # closed loop: queue the next transfer the instant one
+                # completes, until the count is exhausted
+                def _next_message(
+                    done_flow,
+                    _message,
+                    size=flow_spec.message_bytes,
+                    budget=flow_spec.message_count,
+                ):
+                    if done_flow.messages_completed < budget:
+                        done_flow.send_message(size)
+
+                flow.on_message_complete = _next_message
             probes_by_flow.append((flow_spec.name, flow))
         flows.append((flow_spec.name, flow))
     _install_samplers(net, scenario, telemetry)
@@ -419,6 +442,14 @@ def run_scenario_inline(
                 fct = float(message.fct_ns())
                 break
         counters[f"fct_ns.{name}"] = fct
+    flow_stats: List[Dict[str, Any]] = []
+    if sim_host.flowstats_enabled():
+        flow_stats = [
+            row.to_json()
+            for row in collect_flow_stats(
+                net, {flow.flow_id: name for name, flow in flows}
+            )
+        ]
     result = RunResult(
         label=scenario.label,
         seed=seed,
@@ -428,6 +459,7 @@ def run_scenario_inline(
         counters=counters,
         metrics=net.metrics_snapshot(),
         invariant_report=invariant_report,
+        flow_stats=flow_stats,
     )
     return result, net
 

@@ -23,10 +23,12 @@ lossless fabric none of this machinery fires.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from typing import TYPE_CHECKING, Callable, Deque, List, Optional, Tuple
 
 from repro.sim.packet import Packet, data_packet
+from repro.telemetry import events as trace_events
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cc.base import CongestionControl
@@ -47,6 +49,23 @@ DATA_PRIORITY = 0
 #: priority, to avoid missing the CNP deadline" (paper §3.3).
 CONTROL_PRIORITY = 6
 
+#: kill switch for per-transfer FCT bookkeeping (``flow.*`` lifecycle
+#: events and first-byte tracking).  On by default; the CI overhead
+#: gate (benchmarks/check_flowstats_overhead.py) compares runs with it
+#: off vs on to pin the hot-path cost below its budget.
+FLOWSTATS_ENV = "REPRO_FLOWSTATS"
+
+_FLOWSTATS_ENABLED = os.environ.get(FLOWSTATS_ENV, "on").lower() not in (
+    "off",
+    "0",
+    "no",
+)
+
+
+def flowstats_enabled() -> bool:
+    """Whether per-transfer FCT bookkeeping is active in this process."""
+    return _FLOWSTATS_ENABLED
+
 
 class Message:
     """One application-level transfer riding a flow."""
@@ -59,6 +78,11 @@ class Message:
         "last_seq",
         "start_ns",
         "complete_ns",
+        "first_byte_ns",
+        "retransmits",
+        "pauses_rx",
+        "_retx_at_start",
+        "_pause_rx_at_start",
     )
 
     def __init__(
@@ -76,6 +100,15 @@ class Message:
         self.last_seq = first_seq + packet_count - 1
         self.start_ns = start_ns
         self.complete_ns: Optional[int] = None
+        #: first wire departure of the transfer's first packet (None
+        #: until it leaves; retransmissions do not move it)
+        self.first_byte_ns: Optional[int] = None
+        #: go-back-N retransmissions charged to the transfer's lifetime
+        self.retransmits = 0
+        #: PAUSE frames the sender's port received during the transfer
+        self.pauses_rx = 0
+        self._retx_at_start = 0
+        self._pause_rx_at_start = 0
 
     @property
     def completed(self) -> bool:
@@ -147,6 +180,11 @@ class Flow:
         self._messages: List[Message] = []
         self._boundaries: Deque[Tuple[int, Message]] = deque()
         self._boundary_by_seq: dict = {}
+        #: first_seq -> Message, for first-byte timestamps (popped on
+        #: first departure; empty for greedy flows and when FlowStats
+        #: recording is disabled via REPRO_FLOWSTATS=off)
+        self._first_by_seq: dict = {}
+        self._flowstats = _FLOWSTATS_ENABLED
         self.on_message_complete: Optional[Callable[["Flow", Message], None]] = None
         # retransmission-timeout bookkeeping (managed by the NIC)
         self._rto_armed = False
@@ -218,6 +256,20 @@ class Flow:
         self._boundaries.append((message.last_seq, message))
         self._boundary_by_seq[message.last_seq] = message
         self.end_seq += packet_count
+        if self._flowstats:
+            self._first_by_seq[message.first_seq] = message
+            message._retx_at_start = self.retransmitted_packets
+            message._pause_rx_at_start = self.src.nic.port.rx_pause_frames
+            tracer = self.src.nic.tracer
+            if tracer is not None:
+                tracer.emit(
+                    message.start_ns,
+                    trace_events.FLOW_START,
+                    self.src.nic.name,
+                    flow=self.flow_id,
+                    msg=message.msg_id,
+                    bytes=size_bytes,
+                )
         self.src.nic.flow_state_changed(self)
         return message
 
@@ -266,6 +318,19 @@ class Flow:
         self.next_seq = seq + 1
         self.packets_sent += 1
         self.bytes_sent += self.mtu_bytes
+        if self._first_by_seq:
+            message = self._first_by_seq.pop(seq, None)
+            if message is not None:
+                message.first_byte_ns = now_ns
+                tracer = self.src.nic.tracer
+                if tracer is not None:
+                    tracer.emit(
+                        now_ns,
+                        trace_events.FLOW_FIRST_BYTE,
+                        self.src.nic.name,
+                        flow=self.flow_id,
+                        msg=message.msg_id,
+                    )
         if self._sample_rtt and len(self._rtt_probes) < _MAX_RTT_PROBES:
             self._rtt_probes.append((seq, now_ns))
         gap = int(self.mtu_bytes * 8e9 / self.rate_bps) + 1
@@ -290,6 +355,25 @@ class Flow:
             _, message = self._boundaries.popleft()
             message.complete_ns = now
             self.messages_completed += 1
+            if self._flowstats:
+                message.retransmits = (
+                    self.retransmitted_packets - message._retx_at_start
+                )
+                message.pauses_rx = (
+                    self.src.nic.port.rx_pause_frames
+                    - message._pause_rx_at_start
+                )
+                tracer = self.src.nic.tracer
+                if tracer is not None:
+                    tracer.emit(
+                        now,
+                        trace_events.FLOW_FCT,
+                        self.src.nic.name,
+                        flow=self.flow_id,
+                        msg=message.msg_id,
+                        fct_ns=now - message.start_ns,
+                        bytes=message.size_bytes,
+                    )
             if self.on_message_complete is not None:
                 self.on_message_complete(self, message)
 

@@ -12,6 +12,9 @@ DESIGN.md §8):
   counters, gauges and fixed-bucket histograms; stable metric names in
   :data:`METRIC_CATALOG`; :func:`collect_network` sweeps a finished
   network into the registry.
+* :mod:`repro.telemetry.flowstats` — the per-flow FCT table
+  (:class:`FlowStats`) snapshotted into every
+  :class:`~repro.runner.results.RunResult`.
 * :mod:`repro.telemetry.profiler` — :class:`SchedulerProfiler`
   attributes wall-clock time to event-callback sites.
 * :mod:`repro.telemetry.spec` — :class:`TelemetrySpec` (declarative,
@@ -28,6 +31,9 @@ from repro.telemetry.events import (
     FAULT_CNP_DROP,
     FAULT_INJECT,
     FAULT_RECOVERED,
+    FLOW_FCT,
+    FLOW_FIRST_BYTE,
+    FLOW_START,
     FULL_EVENTS,
     LEVELS,
     NIC_FLOW_FAILED,
@@ -49,6 +55,7 @@ from repro.telemetry.events import (
     WATCHDOG_STALL,
     validate_event,
 )
+from repro.telemetry.flowstats import FlowStats, collect_flow_stats, stats_from_json
 from repro.telemetry.metrics import (
     Counter,
     DEFAULT_QUEUE_BUCKETS,
@@ -78,7 +85,11 @@ __all__ = [
     "FAULT_CNP_DROP",
     "FAULT_INJECT",
     "FAULT_RECOVERED",
+    "FLOW_FCT",
+    "FLOW_FIRST_BYTE",
+    "FLOW_START",
     "FULL_EVENTS",
+    "FlowStats",
     "Gauge",
     "Histogram",
     "JsonlFileSink",
@@ -109,6 +120,8 @@ __all__ = [
     "WATCHDOG_CYCLE",
     "WATCHDOG_SCAN",
     "WATCHDOG_STALL",
+    "collect_flow_stats",
     "collect_network",
+    "stats_from_json",
     "validate_event",
 ]

@@ -29,6 +29,9 @@ event type                level  meaning
 ``pkt.drop``              cc     packet lost (buffer, egress cap, CRC)
 ``nic.rto``               cc     retransmission timeout fired
 ``nic.flow_failed``       cc     QP exhausted its retry budget
+``flow.start``            cc     a message transfer was queued on a flow
+``flow.first_byte``       full   first packet of a transfer hit the wire
+``flow.fct``              cc     a transfer completed (cumulative ACK)
 ``sample.queue``          full   periodic egress-queue depth sample
 ``sample.rate``           full   periodic per-flow goodput sample
 ``fault.inject``          cc     a scripted fault window opened
@@ -67,6 +70,9 @@ PFC_RESUME_RX = "pfc.resume_rx"
 PKT_DROP = "pkt.drop"
 NIC_RTO = "nic.rto"
 NIC_FLOW_FAILED = "nic.flow_failed"
+FLOW_START = "flow.start"
+FLOW_FIRST_BYTE = "flow.first_byte"
+FLOW_FCT = "flow.fct"
 SAMPLE_QUEUE = "sample.queue"
 SAMPLE_RATE = "sample.rate"
 FAULT_INJECT = "fault.inject"
@@ -98,6 +104,8 @@ CC_EVENTS = frozenset(
         PKT_DROP,
         NIC_RTO,
         NIC_FLOW_FAILED,
+        FLOW_START,
+        FLOW_FCT,
         FAULT_INJECT,
         FAULT_CLEAR,
         FAULT_CNP_DROP,
@@ -114,6 +122,7 @@ FULL_EVENTS = frozenset(
         CP_ECN_MARK,
         NP_CNP_COALESCED,
         CC_RATE,
+        FLOW_FIRST_BYTE,
         SAMPLE_QUEUE,
         SAMPLE_RATE,
         FAULT_CNP_DELAY,
@@ -125,6 +134,26 @@ FULL_EVENTS = frozenset(
 #: never sampled, so traced counts stay exactly consistent with the
 #: metric counters (``np.cnp_tx`` events == ``nic.cnp_tx``).
 SAMPLED_EVENTS = frozenset({CP_ECN_MARK, NP_CNP_COALESCED})
+
+
+def schema_level_gaps() -> Dict[str, List[str]]:
+    """Event types whose schema and level registration disagree.
+
+    An event named in :data:`TRACE_SCHEMA` but in neither level set
+    would be *silently dropped* by every :class:`Tracer`; one in a
+    level set but missing from the schema would be emitted and then
+    rejected by the linter.  Both are registration bugs — the import
+    guard below and the lint CLI refuse to let either slip through.
+    """
+    leveled = CC_EVENTS | FULL_EVENTS
+    return {
+        key: sorted(value)
+        for key, value in (
+            ("unleveled", set(TRACE_SCHEMA) - leveled),
+            ("unschema'd", leveled - set(TRACE_SCHEMA)),
+        )
+        if value
+    }
 
 
 def events_for_level(level: str) -> frozenset:
@@ -159,6 +188,9 @@ TRACE_SCHEMA: Dict[str, Tuple[str, ...]] = {
     PKT_DROP: ("flow", "reason", "bytes"),
     NIC_RTO: ("flow",),
     NIC_FLOW_FAILED: ("flow",),
+    FLOW_START: ("flow", "msg", "bytes"),
+    FLOW_FIRST_BYTE: ("flow", "msg"),
+    FLOW_FCT: ("flow", "msg", "fct_ns", "bytes"),
     SAMPLE_QUEUE: ("port", "queue_bytes"),
     SAMPLE_RATE: ("flow", "rate_bps"),
     FAULT_INJECT: ("kind", "target"),
@@ -174,6 +206,12 @@ TRACE_SCHEMA: Dict[str, Tuple[str, ...]] = {
 
 #: legal ``reason`` values of ``pkt.drop`` events
 DROP_REASONS = ("buffer_full", "egress_cap", "corrupt", "link_down")
+
+# registration guard: every schema'd event must carry a level and vice
+# versa (see schema_level_gaps) — fails at import, not silently at runtime
+_GAPS = schema_level_gaps()
+if _GAPS:  # pragma: no cover - a registration bug, not a runtime state
+    raise AssertionError(f"trace-event registration gaps: {_GAPS}")
 
 
 def validate_event(event: Mapping[str, Any]) -> List[str]:

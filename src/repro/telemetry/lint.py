@@ -6,6 +6,18 @@ Used by CI after the trace smoke run::
 
 Exit status 0 when every line parses and validates, 1 otherwise (the
 first ``--max-errors`` problems are printed with line numbers).
+
+Every event type must be registered in
+:data:`~repro.telemetry.events.TRACE_SCHEMA` — unknown names (and
+events missing their type's required fields) are hard failures, which
+is what keeps the ``flow.*`` lifecycle events honest: a typo'd
+``flow.fct`` emit can't slip through CI as an unknown-but-tolerated
+line.  A trace with *zero* events is also a failure by default (a
+smoke run that silently traced nothing used to lint clean); pass
+``--allow-empty`` for sinks that are legitimately empty, e.g. an
+``off``-level run.  Registration drift between the schema and the
+level sets is caught even earlier, at import of
+:mod:`repro.telemetry.events` (see ``schema_level_gaps``).
 """
 
 from __future__ import annotations
@@ -18,7 +30,9 @@ from typing import List, Optional, Sequence, Tuple
 from repro.telemetry.events import validate_event
 
 
-def lint_file(path: str, max_errors: int = 20) -> Tuple[int, List[str]]:
+def lint_file(
+    path: str, max_errors: int = 20, allow_empty: bool = False
+) -> Tuple[int, List[str]]:
     """Validate one JSONL trace; returns (lines checked, error strings)."""
     errors: List[str] = []
     lines = 0
@@ -49,6 +63,11 @@ def lint_file(path: str, max_errors: int = 20) -> Tuple[int, List[str]]:
                         f"({t} < {last_t})"
                     )
                 last_t = t
+    if lines == 0 and not allow_empty:
+        errors.append(
+            f"{path}: no events — an empty trace fails lint "
+            "(pass --allow-empty if this sink is expected to be empty)"
+        )
     return lines, errors
 
 
@@ -64,11 +83,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=20,
         help="stop after this many problems per file",
     )
+    parser.add_argument(
+        "--allow-empty",
+        action="store_true",
+        help="accept trace files with zero events (off-level runs)",
+    )
     args = parser.parse_args(argv)
     failed = False
     for path in args.paths:
         try:
-            lines, errors = lint_file(path, max_errors=args.max_errors)
+            lines, errors = lint_file(
+                path, max_errors=args.max_errors, allow_empty=args.allow_empty
+            )
         except OSError as exc:
             print(f"{path}: cannot read ({exc})", file=sys.stderr)
             failed = True
