@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""CI gate: hot simulation objects stay slotted and fabrics stay lean.
+
+Two checks, both cheap enough for every CI run:
+
+1. **Slots** — the per-packet / per-port / per-flow classes must not
+   grow an instance ``__dict__``.  A stray class attribute or a
+   removed ``__slots__`` declaration silently re-adds ~100 bytes per
+   object, which at fabric scale (thousands of flows, tens of
+   thousands of ports) is the difference between a 1024-host scenario
+   fitting in the executor's memory budget or not.
+
+2. **Footprint** — building a k=8 fat-tree (128 hosts, 80 switches,
+   routes installed) must stay under a per-host tracemalloc budget.
+   The budget is generous (2x the measured value at introduction) so
+   it only trips on regressions of kind, not noise: an accidental
+   per-host copy of a config object, routing tables going quadratic,
+   and so on.
+
+Usage (CI runs this in the fabric-smoke job)::
+
+    PYTHONPATH=src python benchmarks/check_memory_footprint.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tracemalloc
+
+#: (module, class) pairs that must not carry an instance __dict__
+SLOTTED = (
+    ("repro.sim.device", "Device"),
+    ("repro.sim.host", "Flow"),
+    ("repro.sim.host", "Host"),
+    ("repro.sim.host", "Message"),
+    ("repro.sim.link", "Port"),
+    ("repro.sim.nic", "HostNic"),
+    ("repro.sim.nic", "_RxState"),
+    ("repro.sim.packet", "Packet"),
+    ("repro.sim.switch", "Switch"),
+)
+
+#: tracemalloc bytes per host allowed for a freshly built k=8 fat-tree
+#: (measured ~45 KB/host when the fabric subsystem landed; 2x headroom)
+PER_HOST_BUDGET_BYTES = 90_000
+
+
+def check_slots() -> list:
+    """Classes from SLOTTED that (re)grew an instance ``__dict__``."""
+    import importlib
+
+    problems = []
+    for module_name, class_name in SLOTTED:
+        cls = getattr(importlib.import_module(module_name), class_name)
+        if "__dict__" in dir(cls) and not hasattr(cls, "__slots__"):
+            problems.append(f"{module_name}.{class_name}: no __slots__")
+            continue
+        # a slotted class still gets a __dict__ if any base lacks slots
+        offenders = [
+            base.__name__
+            for base in cls.__mro__[:-1]
+            if "__slots__" not in vars(base)
+        ]
+        if offenders:
+            problems.append(
+                f"{module_name}.{class_name}: instances carry __dict__ "
+                f"(unslotted bases: {', '.join(offenders)})"
+            )
+    return problems
+
+
+def measure_fabric_bytes(k: int) -> tuple:
+    """(total_bytes, host_count) for building a k-ary fat-tree."""
+    from repro.fabric import build_fabric
+
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    fabric = build_fabric(kind="fat_tree", k=k)
+    after, _ = tracemalloc.get_traced_memory()
+    host_count = len(fabric.all_hosts())
+    tracemalloc.stop()
+    return after - before, host_count
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--k", type=int, default=8, help="fat-tree arity to build (default: 8)"
+    )
+    parser.add_argument(
+        "--budget-bytes",
+        type=int,
+        default=PER_HOST_BUDGET_BYTES,
+        help="per-host tracemalloc budget (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    problems = check_slots()
+    for problem in problems:
+        print(f"FAIL {problem}")
+    if not problems:
+        print(f"slots ok: {len(SLOTTED)} hot classes carry no __dict__")
+
+    total, hosts = measure_fabric_bytes(args.k)
+    per_host = total / hosts
+    print(
+        f"k={args.k} fat-tree: {total / 1e6:.1f} MB traced for {hosts} hosts "
+        f"({per_host / 1e3:.1f} KB/host, budget "
+        f"{args.budget_bytes / 1e3:.0f} KB/host)"
+    )
+    if per_host > args.budget_bytes:
+        print(
+            f"FAIL per-host footprint {per_host:.0f} B exceeds budget "
+            f"{args.budget_bytes} B"
+        )
+        problems.append("footprint")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -358,18 +358,27 @@ def profile_main(argv: Sequence[str]) -> int:
 
 
 #: scenarios ``repro bench`` times when none are named: one of each
-#: canonical shape (single switch, parking lot, Clos)
-BENCH_SCENARIOS = ("smoke", "unfairness-dcqcn", "victim")
+#: canonical shape (single switch, parking lot, Clos, fat-tree fabric)
+BENCH_SCENARIOS = ("smoke", "unfairness-dcqcn", "victim", "fabric-smoke")
+
+
+def _peak_rss_kb() -> int:
+    """Peak RSS of this process in KB (Linux ``ru_maxrss`` unit)."""
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
 
 
 def bench_main(argv: Sequence[str]) -> int:
     """``python -m repro bench`` — simulator throughput baselines.
 
     Runs each named scenario once inline and reports scheduler events
-    per wall-clock second; the numbers are appended as a new baseline
-    to ``BENCH_sim.json`` (next to ``results/``) so performance work
-    has a recorded trajectory.  ``--dry-run`` measures without
-    recording.
+    per wall-clock second, plus the topology-layer costs the fabric
+    subsystem is accountable for: network build and route-install
+    wall-clock, and the process peak RSS after each run.  The numbers
+    are appended as a new baseline to ``BENCH_sim.json`` (next to
+    ``results/``) so performance work has a recorded trajectory.
+    ``--dry-run`` measures without recording.
     """
     parser = argparse.ArgumentParser(
         prog="repro bench",
@@ -411,6 +420,7 @@ def bench_main(argv: Sequence[str]) -> int:
     from repro.runner import run_scenario_inline
     from repro.runner.cache import results_dir
     from repro.runner.scale import scale as active_scale
+    from repro.runner.scenario import build_scenario_network
 
     ids = args.scenarios or list(BENCH_SCENARIOS)
     rows = []
@@ -419,6 +429,13 @@ def bench_main(argv: Sequence[str]) -> int:
         scenario = _build_named_scenario(scenario_id)
         if scenario is None:
             return 2
+        # time the topology layer alone first: construction plus route
+        # install, the costs that grow with fabric size
+        start = time.perf_counter()
+        built_net, _, _ = build_scenario_network(scenario, args.seed)
+        build_s = time.perf_counter() - start
+        route_install_s = built_net.route_install_s
+        del built_net
         start = time.perf_counter()
         _, net = run_scenario_inline(scenario, args.seed)
         wall_s = time.perf_counter() - start
@@ -429,9 +446,35 @@ def bench_main(argv: Sequence[str]) -> int:
             "wall_s": round(wall_s, 4),
             "events_per_sec": round(eps),
             "sim_ns": scenario.warmup_ns + scenario.duration_ns,
+            "build_s": round(build_s, 4),
+            "route_install_s": round(route_install_s, 4),
+            "peak_rss_kb": _peak_rss_kb(),
         }
-        rows.append([scenario_id, str(events), f"{wall_s:.2f}", f"{eps:,.0f}"])
-    print(format_table(["scenario", "events", "wall s", "events/s"], rows))
+        rows.append(
+            [
+                scenario_id,
+                str(events),
+                f"{wall_s:.2f}",
+                f"{eps:,.0f}",
+                f"{build_s:.3f}",
+                f"{route_install_s:.3f}",
+                str(record[scenario_id]["peak_rss_kb"]),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "scenario",
+                "events",
+                "wall s",
+                "events/s",
+                "build s",
+                "routes s",
+                "peak RSS KB",
+            ],
+            rows,
+        )
+    )
     if args.dry_run:
         return 0
     path = (
@@ -454,6 +497,96 @@ def bench_main(argv: Sequence[str]) -> int:
     )
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     print(f"recorded baseline #{len(data['baselines'])} to {path}")
+    return 0
+
+
+def fabric_main(argv: Sequence[str]) -> int:
+    """``python -m repro fabric check`` — build and validate a fabric.
+
+    Builds the requested topology, runs the structural validator
+    (tier/host counts, port counts, link symmetry, routing
+    completeness) and prints a one-line summary plus the build and
+    route-install timings.  Exit status 1 when validation fails — the
+    CI fabric-smoke job gates on this.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro fabric",
+        description="Inspect and validate repro.fabric topologies.",
+    )
+    parser.add_argument("action", choices=("check",), help="what to do")
+    parser.add_argument(
+        "--kind",
+        choices=("fat_tree", "clos"),
+        default="fat_tree",
+        help="fabric family (default: fat_tree)",
+    )
+    parser.add_argument(
+        "--k", type=int, default=4, help="fat-tree arity (default: 4)"
+    )
+    parser.add_argument(
+        "--pods", type=int, default=2, help="clos: number of pods"
+    )
+    parser.add_argument(
+        "--tors-per-pod", type=int, default=2, help="clos: ToRs per pod"
+    )
+    parser.add_argument(
+        "--leaves-per-pod", type=int, default=2, help="clos: leaves per pod"
+    )
+    parser.add_argument(
+        "--spines", type=int, default=2, help="clos: spine count"
+    )
+    parser.add_argument(
+        "--hosts-per-tor", type=int, default=2, help="clos: hosts per ToR"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="build seed")
+    parser.add_argument(
+        "--expect-hosts",
+        type=int,
+        default=None,
+        help="fail unless the fabric has exactly this many hosts",
+    )
+    args = parser.parse_args(argv)
+
+    import time
+
+    from repro.fabric import FabricSpec, build_fabric
+
+    try:
+        if args.kind == "fat_tree":
+            spec = FabricSpec(kind="fat_tree", k=args.k)
+        else:
+            spec = FabricSpec(
+                kind="clos",
+                pods=args.pods,
+                tors_per_pod=args.tors_per_pod,
+                leaves_per_pod=args.leaves_per_pod,
+                spines=args.spines,
+                hosts_per_tor=args.hosts_per_tor,
+            )
+    except ValueError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    start = time.perf_counter()
+    fabric = build_fabric(spec, seed=args.seed)
+    build_s = time.perf_counter() - start
+    problems = fabric.validate()
+    hosts = len(fabric.all_hosts())
+    if args.expect_hosts is not None and hosts != args.expect_hosts:
+        problems.append(
+            f"expected {args.expect_hosts} hosts, built {hosts}"
+        )
+    tiers = {tier: len(sw) for tier, sw in fabric.tiers().items()}
+    print(
+        f"{args.kind} fabric: {hosts} hosts, "
+        + ", ".join(f"{n} {tier}" for tier, n in tiers.items())
+        + f"; built in {build_s:.3f}s "
+        f"(routes {fabric.net.route_install_s:.3f}s)"
+    )
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        return 1
+    print("validation: ok")
     return 0
 
 
@@ -716,6 +849,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return faults_main(argv[1:])
     if argv and argv[0] == "bench":
         return bench_main(argv[1:])
+    # only dispatch "fabric" when an action follows: a bare
+    # ``repro fabric`` is the experiment of the same name
+    if argv and argv[0] == "fabric" and len(argv) > 1 and argv[1] == "check":
+        return fabric_main(argv[1:])
     if argv and argv[0] == "plot":
         return plot_main(argv[1:])
     args = build_parser().parse_args(argv)

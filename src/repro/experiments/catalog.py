@@ -234,6 +234,20 @@ def fctgrid() -> str:
     return grid_table(run_fct_grid())
 
 
+@experiment("fabric", "DCQCN incast across fat-tree sizes (k=4, k=8)")
+def fabric() -> str:
+    from repro.experiments.fabric_scale import run_fabric
+
+    return run_fabric()
+
+
+@experiment("fabric1024", "1024-host fat-tree incast with invariants")
+def fabric1024() -> str:
+    from repro.experiments.fabric_scale import run_fabric_1024
+
+    return run_fabric_1024()
+
+
 @experiment("chaos", "scripted fault injection: PAUSE storms, flaps, recovery")
 def chaos() -> str:
     from repro.experiments.chaos import run_chaos
@@ -324,3 +338,31 @@ def benchmark_named_scenario():
     from repro.experiments.fct_grid import benchmark_scenario
 
     return benchmark_scenario()
+
+
+@scenario("fabric-smoke", "k=4 fat-tree (16 hosts): incast + probes")
+def fabric_smoke_scenario():
+    from repro.experiments.fabric_scale import fabric_incast_scenario
+
+    return fabric_incast_scenario(k=4)
+
+
+@scenario("fabric-k8", "k=8 fat-tree (128 hosts): incast + probes")
+def fabric_k8_scenario():
+    from repro.experiments.fabric_scale import fabric_incast_scenario
+
+    return fabric_incast_scenario(k=8)
+
+
+@scenario("fabric-bench", "k=8 fat-tree benchmark: heavy-tailed streams + incast")
+def fabric_bench_scenario():
+    from repro.experiments.fabric_scale import fabric_benchmark_scenario
+
+    return fabric_benchmark_scenario()
+
+
+@scenario("fabric-1024", "k=16 fat-tree (1024 hosts): 32:1 incast, invariants on")
+def fabric_1024_scenario():
+    from repro.experiments.fabric_scale import thousand_host_scenario
+
+    return thousand_host_scenario()

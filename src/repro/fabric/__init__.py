@@ -1,0 +1,29 @@
+"""Parameterized large-scale fat-tree / Clos fabrics (DESIGN.md §13).
+
+* :class:`FabricSpec` — declarative, JSON-serializable fabric shape
+  (k-ary fat-tree or generalized 3-tier Clos, per-tier link rates,
+  oversubscription, deterministic naming).
+* :func:`build_fabric` — spec -> wired
+  :class:`~repro.sim.network.Network` with structured (search-free)
+  ECMP routing, returning a :class:`Fabric` handle with per-tier
+  accessors, PAUSE/queue aggregation and builder-invariant checks.
+
+The paper's Figure 2 testbed is the special case
+``FabricSpec(kind="clos", pods=2, tors_per_pod=2, leaves_per_pod=2,
+spines=2, naming="fig2")``; :func:`repro.sim.topology.three_tier_clos`
+delegates here.
+"""
+
+from repro.fabric.build import Fabric, build_fabric
+from repro.fabric.routing import install_fabric_routes
+from repro.fabric.spec import KINDS, NAMINGS, TIERS, FabricSpec
+
+__all__ = [
+    "Fabric",
+    "FabricSpec",
+    "KINDS",
+    "NAMINGS",
+    "TIERS",
+    "build_fabric",
+    "install_fabric_routes",
+]

@@ -1,0 +1,64 @@
+"""Structured route computation for built fabrics.
+
+The legacy :func:`repro.sim.routing.install_routes` runs one BFS per
+host over the whole device graph and then scans every switch's ports —
+O(hosts x (devices + links)) work that dominates construction once the
+fabric has hundreds of switches.  On a fat-tree/Clos none of that
+search is necessary: shortest paths are fully determined by pod
+membership, so routes are written down directly from the wiring maps
+the builder recorded.
+
+Per tier the tables are:
+
+* **edge** — one single-port entry per local host, plus a *default
+  route* (all uplinks, one ECMP group) for everything else;
+* **agg**  — one single-port entry per host of its own pod (via that
+  host's edge switch), plus a default route over its core uplinks;
+* **core** — one entry per host, but the ECMP tuple is shared per pod
+  (for a Clos spine: all leaves of the host's pod; for a fat-tree
+  core: the one aggregation switch of its group in that pod).
+
+So the route state is O(hosts_per_edge) per edge switch, O(pod hosts)
+per agg, and O(hosts) dict entries per core sharing O(pods) tuples —
+no graph traversal anywhere.  Equivalence with the BFS tables on
+symmetric and oversubscribed fabrics is pinned by
+``tests/test_fabric_routing.py``; hop-count routing is rate-agnostic,
+so heterogeneous link rates do not perturb it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fabric.build import Fabric
+
+
+def install_fabric_routes(fabric: "Fabric") -> None:
+    """Populate every switch's ECMP table from the builder's wiring maps."""
+    spec = fabric.spec
+    edges_per_pod = spec.edges_per_pod
+
+    for t, edge in enumerate(fabric.edges):
+        for host, port in zip(fabric.hosts[t], fabric._edge_host_ports[t]):
+            edge.set_route(host.host_id, (port,))
+        if fabric._edge_up[t]:
+            edge.set_default_route(tuple(fabric._edge_up[t]))
+
+    for g, agg in enumerate(fabric.aggs):
+        pod = g // spec.aggs_per_pod
+        for local, port in enumerate(fabric._agg_edge_ports[g]):
+            route = (port,)
+            for host in fabric.hosts[pod * edges_per_pod + local]:
+                agg.set_route(host.host_id, route)
+        if fabric._agg_up[g]:
+            agg.set_default_route(tuple(fabric._agg_up[g]))
+
+    for c, core in enumerate(fabric.cores):
+        for pod in range(spec.pod_count):
+            route = tuple(fabric._core_pod_ports[c][pod])
+            if not route:
+                continue  # disconnected pod: validate() reports it
+            for t in range(pod * edges_per_pod, (pod + 1) * edges_per_pod):
+                for host in fabric.hosts[t]:
+                    core.set_route(host.host_id, route)

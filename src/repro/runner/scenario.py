@@ -13,9 +13,14 @@ Host locators
 topology:
 
 * ``"<tor>:<index>"`` — host ``index`` under ToR ``tor`` on the
-  three-tier Clos (e.g. ``"3:1"`` is the second host under T4);
+  three-tier Clos (e.g. ``"3:1"`` is the second host under T4); on a
+  ``fabric`` topology the same form addresses host ``index`` under
+  global edge switch ``tor``;
+* ``"<pod>:<edge>:<index>"`` — pod-relative addressing on a
+  ``fabric`` topology;
 * a bare integer — position in the host list of ``single_switch``
-  (negative indices allowed, e.g. ``"-1"`` is the last host);
+  or in ``Fabric.all_hosts()`` (negative indices allowed, e.g.
+  ``"-1"`` is the last host);
 * otherwise — the host's name (``"H1"``, ``"R2"``, ...), which works
   on every topology.
 """
@@ -49,6 +54,7 @@ def _config_types() -> Dict[str, type]:
         SlowReceiver,
         WatchdogConfig,
     )
+    from repro.fabric import FabricSpec
     from repro.invariants import InvariantConfig
     from repro.sim.nic import NicConfig
     from repro.sim.switch import SwitchConfig
@@ -61,6 +67,7 @@ def _config_types() -> Dict[str, type]:
             SwitchConfig,
             NicConfig,
             TelemetrySpec,
+            FabricSpec,
             FaultPlan,
             LinkFlap,
             ErrorBurst,
@@ -164,7 +171,13 @@ class FlowSpec:
 
 
 #: topology name -> builder; extended via :func:`register_topology`
-TOPOLOGIES = ("three_tier_clos", "single_switch", "parking_lot", "dumbbell")
+TOPOLOGIES = (
+    "three_tier_clos",
+    "single_switch",
+    "parking_lot",
+    "dumbbell",
+    "fabric",
+)
 
 
 @dataclass(frozen=True)
@@ -293,6 +306,29 @@ def build_scenario_network(scenario: Scenario, seed: int):
         net, _, _ = topo.dumbbell(seed=seed, **kwargs)
         return net, lambda locator: _host_by_name(net, locator), {}
 
+    if scenario.topology == "fabric":
+        from repro.fabric import build_fabric
+
+        fabric = build_fabric(
+            spec=kwargs.pop("spec", None), seed=seed, **kwargs
+        )
+        flat_hosts = fabric.all_hosts()
+
+        def resolve(locator: str):
+            parts = locator.split(":")
+            if len(parts) == 3:
+                return fabric.host_in_pod(
+                    int(parts[0]), int(parts[1]), int(parts[2])
+                )
+            if len(parts) == 2:
+                return fabric.host(int(parts[0]), int(parts[1]))
+            try:
+                return flat_hosts[int(locator)]
+            except ValueError:
+                return _host_by_name(fabric.net, locator)
+
+        return fabric.net, resolve, fabric.pause_probes()
+
     raise ValueError(f"unknown topology {scenario.topology!r}")
 
 
@@ -307,22 +343,41 @@ def _install_samplers(net, scenario: Scenario, telemetry: Telemetry) -> None:
     spec = scenario.telemetry
     if spec is None:
         return
-    from repro.sim.monitor import QueueSampler, RateSampler
+    from repro.sim.monitor import QueueSampler, RateSampler, TierQueueSampler
 
     stop_ns = scenario.warmup_ns + scenario.duration_ns
     if spec.queue_sample_ns is not None:
-        histogram = telemetry.metrics.histogram("switch.queue_bytes")
-        for switch in net.switches:
-            for port in switch.ports:
-                QueueSampler(
+        # Only "fabric" scenarios switch to tier aggregation: the Fig 2
+        # clos is also fabric-built, but its figures depend on the
+        # per-port sample stream staying exactly as before.
+        if scenario.topology == "fabric" and net.fabric is not None:
+            # fabric-scale: one O(switches) aggregate probe per tier
+            # instead of tens of thousands of per-port probes
+            for tier, switches in net.fabric.tiers().items():
+                TierQueueSampler(
                     net.engine,
-                    switch,
-                    port.index,
+                    tier,
+                    switches,
                     interval_ns=spec.queue_sample_ns,
                     stop_ns=stop_ns,
                     tracer=telemetry.tracer,
-                    histogram=histogram,
+                    histogram=telemetry.metrics.histogram(
+                        f"switch.occupied_bytes.{tier}"
+                    ),
                 )
+        else:
+            histogram = telemetry.metrics.histogram("switch.queue_bytes")
+            for switch in net.switches:
+                for port in switch.ports:
+                    QueueSampler(
+                        net.engine,
+                        switch,
+                        port.index,
+                        interval_ns=spec.queue_sample_ns,
+                        stop_ns=stop_ns,
+                        tracer=telemetry.tracer,
+                        histogram=histogram,
+                    )
     if spec.rate_sample_ns is not None:
         RateSampler(
             net.engine,

@@ -22,7 +22,13 @@ class Device:
       ``None`` to go idle.
     * :meth:`tx_complete` — a frame we handed out finished serializing
       (switches free shared-buffer space here).
+
+    Slotted (as are the concrete devices) so thousand-NIC fabrics do
+    not pay a ``__dict__`` per device; subclasses defined outside
+    :mod:`repro.sim` may omit ``__slots__`` and get one back.
     """
+
+    __slots__ = ("engine", "device_id", "name", "ports", "tracer")
 
     def __init__(self, engine: "EventScheduler", device_id: int, name: str):
         self.engine = engine

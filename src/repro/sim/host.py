@@ -129,7 +129,49 @@ class Message:
 
 
 class Flow:
-    """One sender-to-receiver RDMA stream (queue pair)."""
+    """One sender-to-receiver RDMA stream (queue pair).
+
+    Slotted: fabric-scale scenarios open thousands of flows and the
+    per-flow state below is the hottest per-packet working set.  Every
+    attribute is assigned in ``__init__``; baseline subclasses without
+    ``__slots__`` (DCTCP, QCN) still get a ``__dict__`` of their own.
+    """
+
+    __slots__ = (
+        "flow_id",
+        "src",
+        "dst",
+        "priority",
+        "mtu_bytes",
+        "start_ns",
+        "cc",
+        "_cwnd_source",
+        "_sample_rtt",
+        "_rtt_probes",
+        "_static_rate_bps",
+        "greedy",
+        "next_seq",
+        "end_seq",
+        "acked_seq",
+        "next_send_ns",
+        "_last_pull_ns",
+        "_last_pull_bytes",
+        "_messages",
+        "_boundaries",
+        "_boundary_by_seq",
+        "_first_by_seq",
+        "_flowstats",
+        "on_message_complete",
+        "_rto_armed",
+        "_last_progress_seq",
+        "_consecutive_rtos",
+        "failed",
+        "packets_sent",
+        "bytes_sent",
+        "retransmitted_packets",
+        "bytes_delivered",
+        "messages_completed",
+    )
 
     def __init__(
         self,
@@ -426,6 +468,8 @@ class Host:
     closed-loop workloads) is expressed through the flows opened
     between hosts via :meth:`repro.sim.network.Network.add_flow`.
     """
+
+    __slots__ = ("name", "nic", "flows")
 
     def __init__(self, name: str, nic: "HostNic"):
         self.name = name

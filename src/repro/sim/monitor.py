@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.sim.engine import EventScheduler
 from repro.sim.host import Flow
 from repro.sim.switch import Switch
-from repro.telemetry.events import SAMPLE_QUEUE, SAMPLE_RATE
+from repro.telemetry.events import SAMPLE_QUEUE, SAMPLE_RATE, SAMPLE_TIER_QUEUE
 
 
 class _PeriodicProbe:
@@ -172,6 +172,69 @@ class QueueSampler(_PeriodicProbe):
 
     def max_bytes(self) -> int:
         return max(self.samples_bytes, default=0)
+
+
+class TierQueueSampler(_PeriodicProbe):
+    """Periodically samples aggregate buffer occupancy of one fabric tier.
+
+    Per-port :class:`QueueSampler` instances are the right tool on the
+    paper's 10-switch testbed, but on a thousand-host fabric they mean
+    tens of thousands of probes per sample tick.  This sampler instead
+    reads :attr:`Switch.occupied_bytes` (shared-buffer occupancy, O(1)
+    per switch) across all switches of one tier — O(switches), not
+    O(ports) — and records the tier total plus the hottest single
+    switch.  With ``tracer`` set each sample is published as a
+    ``sample.tier_queue`` event; with ``histogram`` set, the per-switch
+    occupancies feed the shared distribution.
+    """
+
+    def __init__(
+        self,
+        engine: EventScheduler,
+        tier: str,
+        switches: Sequence[Switch],
+        interval_ns: int = 10_000,
+        start_ns: int = 0,
+        stop_ns: Optional[int] = None,
+        tracer=None,
+        histogram=None,
+    ):
+        if not switches:
+            raise ValueError(f"tier {tier!r} has no switches to sample")
+        self.tier = tier
+        self.switches = list(switches)
+        self.tracer = tracer
+        self.histogram = histogram
+        self.times_ns: List[int] = []
+        self.totals_bytes: List[int] = []
+        self.max_bytes_series: List[int] = []
+        super().__init__(engine, interval_ns, start_ns=start_ns, stop_ns=stop_ns)
+
+    def _sample(self, now: int) -> None:
+        total = 0
+        worst = 0
+        for switch in self.switches:
+            occupied = switch.occupied_bytes
+            total += occupied
+            if occupied > worst:
+                worst = occupied
+            if self.histogram is not None:
+                self.histogram.observe(occupied)
+        self.times_ns.append(now)
+        self.totals_bytes.append(total)
+        self.max_bytes_series.append(worst)
+        if self.tracer is not None:
+            self.tracer.emit(
+                now,
+                SAMPLE_TIER_QUEUE,
+                f"tier.{self.tier}",
+                tier=self.tier,
+                queue_bytes=total,
+                max_queue_bytes=worst,
+            )
+
+    def peak_total_bytes(self) -> int:
+        return max(self.totals_bytes, default=0)
 
 
 class CounterSet:

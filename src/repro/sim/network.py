@@ -62,6 +62,12 @@ class Network:
         self.switches: List[Switch] = []
         self.flows: List[Flow] = []
         self._next_device_id = 0
+        #: wall-clock seconds spent installing routes (bench trajectory)
+        self.route_install_s = 0.0
+        #: the :class:`repro.fabric.Fabric` handle when this network was
+        #: built by :func:`repro.fabric.build_fabric`, else None — lets
+        #: telemetry aggregate per tier instead of per port at scale
+        self.fabric = None
         self.telemetry: Optional[Telemetry] = None
         #: invariant guard (repro.invariants), None when unguarded
         self.invariant_guard = None
@@ -177,8 +183,18 @@ class Network:
         return connect_ports(self.engine, dev_a, dev_b, rate_bps, prop_delay_ns)
 
     def build_routes(self) -> None:
-        """Compute and install ECMP tables on every switch."""
+        """Compute and install ECMP tables on every switch (BFS).
+
+        Hand-built topologies route by graph search; fabrics built via
+        :mod:`repro.fabric` install structured routes instead and never
+        call this.  Both record ``route_install_s`` so ``repro bench``
+        can watch the topology layer.
+        """
+        import time
+
+        started = time.perf_counter()
         install_routes(self.switches, (host.nic for host in self.hosts))
+        self.route_install_s = time.perf_counter() - started
 
     # --- flows ---------------------------------------------------------------------
 

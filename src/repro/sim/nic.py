@@ -100,6 +100,26 @@ class _RxState:
 class HostNic(Device):
     """A host's RDMA NIC: one port, many flows."""
 
+    __slots__ = (
+        "config",
+        "host",
+        "_tx_flows",
+        "_rx_states",
+        "_control",
+        "_kick_at",
+        "cnps_sent",
+        "cnps_received",
+        "acks_sent",
+        "nacks_sent",
+        "data_received",
+        "out_of_order_drops",
+        "rto_fires",
+        "failed_flows",
+        "cnp_impairment",
+        "cnps_dropped",
+        "cnps_delayed",
+    )
+
     def __init__(
         self,
         engine: EventScheduler,

@@ -107,6 +107,35 @@ class SwitchConfig:
 class Switch(Device):
     """A shared-buffer, PFC-capable, ECN-marking switch."""
 
+    __slots__ = (
+        "config",
+        "ecmp_salt",
+        "num_priorities",
+        "buffer_bytes",
+        "_shared_pool_bytes",
+        "_dyn_factor",
+        "routing_table",
+        "default_route",
+        "occupied_bytes",
+        "_ingress_bytes",
+        "_egress_bytes",
+        "_egress_queues",
+        "_nonempty_mask",
+        "_paused_upstream",
+        "_marker",
+        "guard",
+        "cc_feedback",
+        "cnps_sent",
+        "dropped_packets",
+        "dropped_bytes",
+        "marked_packets",
+        "pause_frames_sent",
+        "resume_frames_sent",
+        "pause_frames_received",
+        "forwarded_packets",
+        "peak_occupancy_bytes",
+    )
+
     def __init__(
         self,
         engine: EventScheduler,
@@ -126,6 +155,10 @@ class Switch(Device):
         self._dyn_factor = self.config.beta / profile.num_priorities
         # dst host id -> tuple of egress port indices (equal cost)
         self.routing_table: Dict[int, Tuple[int, ...]] = {}
+        # fallback ECMP group for destinations with no table entry —
+        # the "default up" route of structured fabric routing (empty
+        # tuple: no fallback, unknown destinations are an error)
+        self.default_route: Tuple[int, ...] = ()
         # accounting
         self.occupied_bytes = 0
         self._ingress_bytes: List[List[int]] = []
@@ -177,6 +210,29 @@ class Switch(Device):
                 raise ValueError(f"{self.name}: bad port index {index}")
         self.routing_table[dst] = tuple(port_indices)
 
+    def set_default_route(self, port_indices: Tuple[int, ...]) -> None:
+        """Install the fallback ECMP group (structured routing's "up").
+
+        Any destination without a :meth:`set_route` entry hashes over
+        these ports; on a fat-tree/Clos that is every host that is not
+        below this switch, which keeps table size O(local hosts)
+        instead of O(all hosts) on the edge and aggregation tiers.
+        """
+        if not port_indices:
+            raise ValueError(f"{self.name}: empty default ECMP set")
+        for index in port_indices:
+            if index < 0 or index >= len(self.ports):
+                raise ValueError(f"{self.name}: bad port index {index}")
+        self.default_route = tuple(port_indices)
+
+    def route_to(self, dst: int) -> Tuple[int, ...]:
+        """The effective ECMP port set for destination ``dst``.
+
+        The per-destination entry when one exists, else the default
+        route; empty means the destination is unreachable from here.
+        """
+        return self.routing_table.get(dst, self.default_route)
+
     # --- helpers ----------------------------------------------------------------
 
     def egress_queue_bytes(self, port_index: int, priority: Optional[int] = None) -> int:
@@ -206,9 +262,11 @@ class Switch(Device):
         try:
             choices = self.routing_table[pkt.dst]
         except KeyError:
-            raise LookupError(
-                f"{self.name}: no route to host {pkt.dst} (packet {pkt!r})"
-            ) from None
+            choices = self.default_route
+            if not choices:
+                raise LookupError(
+                    f"{self.name}: no route to host {pkt.dst} (packet {pkt!r})"
+                ) from None
         if len(choices) == 1:
             return choices[0]
         h = ecmp_hash(pkt.flow_id, pkt.src, pkt.dst, self.ecmp_salt)

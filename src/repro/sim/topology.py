@@ -153,28 +153,40 @@ def three_tier_clos(
     (pod 2); every leaf connects to both spines.  Each ToR is its own
     IP subnet; routing is shortest-path with ECMP, as with BGP on the
     testbed.
+
+    Since the :mod:`repro.fabric` subsystem landed this is a thin
+    wrapper over :func:`repro.fabric.build_fabric` with the Figure 2
+    shape and naming — same device ids, names, ECMP salts and
+    effective routes as the original hand-built version (pinned by
+    ``tests/test_fabric.py``).
     """
     if hosts_per_tor < 1:
         raise ValueError("need at least one host per ToR")
-    net = Network(seed=seed, dcqcn_params=dcqcn_params, nic_config=nic_config)
-    spec = ClosSpec(net=net)
-    spec.tors = [net.new_switch(f"T{i + 1}", config=_fresh_config(switch_config)) for i in range(4)]
-    spec.leaves = [net.new_switch(f"L{i + 1}", config=_fresh_config(switch_config)) for i in range(4)]
-    spec.spines = [net.new_switch(f"S{i + 1}", config=_fresh_config(switch_config)) for i in range(2)]
-    # pods: (T1,T2) x (L1,L2), (T3,T4) x (L3,L4)
-    for pod in range(2):
-        for tor in spec.tors[2 * pod : 2 * pod + 2]:
-            for leaf in spec.leaves[2 * pod : 2 * pod + 2]:
-                net.connect(tor, leaf, rate_bps, prop_delay_ns)
-    for leaf in spec.leaves:
-        for spine in spec.spines:
-            net.connect(leaf, spine, rate_bps, prop_delay_ns)
-    for t, tor in enumerate(spec.tors):
-        rack = []
-        for i in range(hosts_per_tor):
-            host = net.new_host(f"H{t + 1}{i + 1}")
-            net.connect(host, tor, rate_bps, prop_delay_ns)
-            rack.append(host)
-        spec.hosts.append(rack)
-    net.build_routes()
-    return spec
+    from repro.fabric import FabricSpec, build_fabric
+
+    fabric = build_fabric(
+        FabricSpec(
+            kind="clos",
+            pods=2,
+            tors_per_pod=2,
+            leaves_per_pod=2,
+            spines=2,
+            hosts_per_tor=hosts_per_tor,
+            host_rate_bps=rate_bps,
+            agg_rate_bps=rate_bps,
+            core_rate_bps=rate_bps,
+            prop_delay_ns=prop_delay_ns,
+            naming="fig2",
+        ),
+        seed=seed,
+        switch_config=_fresh_config(switch_config),
+        dcqcn_params=dcqcn_params,
+        nic_config=nic_config,
+    )
+    return ClosSpec(
+        net=fabric.net,
+        tors=fabric.edges,
+        leaves=fabric.aggs,
+        spines=fabric.cores,
+        hosts=fabric.hosts,
+    )

@@ -95,13 +95,13 @@ class TestClos:
         spec = three_tier_clos(hosts_per_tor=1)
         t1 = spec.tors[0]
         far_host = spec.host(3, 0)
-        assert len(t1.routing_table[far_host.nic.device_id]) == 2
+        assert len(t1.route_to(far_host.nic.device_id)) == 2
 
     def test_local_host_single_route(self):
         spec = three_tier_clos(hosts_per_tor=2)
         t1 = spec.tors[0]
         local = spec.host(0, 0)
-        assert len(t1.routing_table[local.nic.device_id]) == 1
+        assert len(t1.route_to(local.nic.device_id)) == 1
 
     def test_cross_pod_transfer(self):
         spec = three_tier_clos(hosts_per_tor=1)
@@ -146,6 +146,6 @@ class TestRoutingPrimitives:
         for host in spec.net.hosts:
             dist = hop_distances(host.nic, neighbors)
             for switch in spec.net.switches:
-                for port_index in switch.routing_table[host.nic.device_id]:
+                for port_index in switch.route_to(host.nic.device_id):
                     peer = switch.ports[port_index].peer.owner
                     assert dist[peer.device_id] == dist[switch.device_id] - 1
