@@ -83,6 +83,19 @@ def _jobs_arg(value: str) -> str:
     return value
 
 
+def _shards_arg(value: str) -> int:
+    """Reject bad ``--shards`` values at parse time."""
+    try:
+        shards = int(value)
+        if shards < 1:
+            raise ValueError
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer shard count, got {value!r}"
+        ) from None
+    return shards
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -110,6 +123,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=_jobs_arg,
         help="worker processes for cell fan-out ('auto' or an integer; "
         "sets REPRO_JOBS)",
+    )
+    parser.add_argument(
+        "--shards",
+        default=None,
+        type=_shards_arg,
+        help="worker processes for one sharded fabric run (sets "
+        "REPRO_SHARDS; non-fabric scenarios stay serial)",
     )
     parser.add_argument(
         "--no-cache",
@@ -399,6 +419,13 @@ def bench_main(argv: Sequence[str]) -> int:
         help="override REPRO_SCALE for this invocation",
     )
     parser.add_argument(
+        "--shards",
+        default=None,
+        type=_shards_arg,
+        help="also time each fabric scenario sharded across this many "
+        "workers and record the speedup over the serial run",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         metavar="PATH",
@@ -461,20 +488,71 @@ def bench_main(argv: Sequence[str]) -> int:
                 str(record[scenario_id]["peak_rss_kb"]),
             ]
         )
-    print(
-        format_table(
-            [
-                "scenario",
-                "events",
-                "wall s",
-                "events/s",
-                "build s",
-                "routes s",
-                "peak RSS KB",
-            ],
-            rows,
-        )
-    )
+        if args.shards and args.shards > 1:
+            # time the same cell again, sharded; LAST_STATS stays None
+            # when the scenario cannot shard (non-fabric topology)
+            from repro.shard import SHARDS_ENV
+            from repro.shard import runner as shard_runner
+
+            shard_runner.LAST_STATS = None
+            os.environ[SHARDS_ENV] = str(args.shards)
+            try:
+                start = time.perf_counter()
+                run_scenario_inline(scenario, args.seed)
+                shard_wall_s = time.perf_counter() - start
+            finally:
+                os.environ.pop(SHARDS_ENV, None)
+            stats = shard_runner.LAST_STATS
+            if stats is None:
+                rows[-1].extend(["-", "-", "-", "-", "-"])
+            else:
+                speedup = wall_s / shard_wall_s if shard_wall_s > 0 else 0.0
+                # the compute-bound speedup: serial wall over the
+                # busiest shard's sync-free compute time.  On a host
+                # with >= shards cores the measured speedup approaches
+                # this bound; on fewer cores (CI containers) the wall
+                # speedup is meaningless and this is the number that
+                # tracks the partition quality
+                busy = [
+                    w - s
+                    for w, s in zip(stats["wall_s"], stats["stall_s"])
+                ]
+                bound = wall_s / max(busy) if max(busy) > 0 else 0.0
+                record[scenario_id].update(
+                    {
+                        "shards": stats["shards"],
+                        "shard_wall_s": round(shard_wall_s, 4),
+                        "shard_events_per_sec": [
+                            round(v) for v in stats["events_per_sec"]
+                        ],
+                        "sync_stall_fraction": round(
+                            stats["stall_fraction"], 4
+                        ),
+                        "speedup": round(speedup, 2),
+                        "speedup_compute_bound": round(bound, 2),
+                    }
+                )
+                rows[-1].extend(
+                    [
+                        str(stats["shards"]),
+                        f"{shard_wall_s:.2f}",
+                        f"{stats['stall_fraction']:.0%}",
+                        f"{speedup:.2f}x",
+                        f"{bound:.2f}x",
+                    ]
+                )
+    headers = [
+        "scenario",
+        "events",
+        "wall s",
+        "events/s",
+        "build s",
+        "routes s",
+        "peak RSS KB",
+    ]
+    if args.shards and args.shards > 1:
+        headers += ["shards", "shard wall s", "sync stall", "speedup", "bound"]
+    print(format_table(headers, rows))
     if args.dry_run:
         return 0
     path = (
@@ -807,8 +885,10 @@ def run_scenario_main(scenario_id: str, args) -> int:
 
     from repro.invariants import InvariantViolation
     from repro.runner import run_scenario_inline
+    from repro.shard import runner as shard_runner
 
     seed = getattr(args, "seed", 0) or 0
+    shard_runner.LAST_STATS = None
     try:
         result, _ = run_scenario_inline(scenario, seed)
     except InvariantViolation as exc:
@@ -816,6 +896,19 @@ def run_scenario_main(scenario_id: str, args) -> int:
         return 3
     print(f"=== scenario {scenario_id}: {scenario.label or scenario_id} ===")
     print(result.table())
+    stats = shard_runner.LAST_STATS
+    if stats is not None:
+        print(
+            f"sharded: {stats['shards']} workers, "
+            f"window {stats['window_ns']}ns, "
+            f"{stats['barriers']} barriers, "
+            f"{stats['messages']} boundary messages, "
+            f"sync stall {stats['stall_fraction']:.0%}"
+        )
+    elif getattr(args, "shards", None) and args.shards > 1:
+        print(
+            f"sharding skipped ({scenario.topology!r} topology runs serial)"
+        )
     if result.flow_stats:
         completed = [r for r in result.flow_stats_records() if r.completed]
         print(
@@ -860,6 +953,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         os.environ[SCALE_ENV] = args.scale
     if args.jobs is not None:
         os.environ[JOBS_ENV] = str(args.jobs)
+    if args.shards is not None:
+        from repro.shard import SHARDS_ENV
+
+        os.environ[SHARDS_ENV] = str(args.shards)
     if args.no_cache:
         os.environ[CACHE_ENV] = "off"
     if args.resume:

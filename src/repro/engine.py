@@ -1,18 +1,29 @@
 """Discrete-event scheduler with an integer-nanosecond clock.
 
 The engine is deliberately minimal: a binary heap of
-``[time, seq, fn, args]`` entries.  Three design points matter for the
-rest of the library:
+``[time, sched, seq, fn, args]`` entries.  Three design points matter
+for the rest of the library:
 
 * **Integer time.**  All timestamps are integer nanoseconds, so event
   ordering is exact and runs are bit-for-bit reproducible.
-* **Deterministic tie-breaking.**  Events scheduled for the same tick
-  fire in the order they were scheduled (a monotonically increasing
-  sequence number breaks heap ties), so a seeded simulation never
-  depends on hash order or heap internals.
-* **Cheap comparisons.**  Heap entries are plain lists whose first two
-  elements are ints; the sequence number is unique, so list comparison
-  never reaches the callback and runs entirely in C.
+* **Deterministic tie-breaking.**  The heap key is
+  ``(time, sched, tb, seq)``: ``sched`` is the clock value at the
+  moment of scheduling, ``tb`` an optional structural tie-break tuple
+  (empty for most events), and ``seq`` a monotonically increasing
+  sequence number.  Within one engine ``sched`` is nondecreasing in
+  ``seq``, so for ordinary events the key orders exactly like
+  ``(time, seq)`` — same-tick events fire in scheduling order.  The
+  two extra elements exist for parallel shards
+  (:mod:`repro.shard.boundary`): ``sched_time`` lets an injected
+  boundary event be *backdated* to the instant its remote sender
+  scheduled it, and ``tb`` gives wire arrivals a tie-break that is a
+  pure function of the sending port rather than of one process's
+  scheduling history — the only kind of key every shard can agree on
+  when two frames finish serialization at the same instant in
+  different processes.
+* **Cheap comparisons.**  Heap entries are plain lists whose first
+  two elements are ints; the sequence number is unique, so list
+  comparison never reaches the callback and runs entirely in C.
 
 Cancellation is done by clearing the entry's callback rather than
 re-heapifying; cancelled entries are skipped when popped.
@@ -23,11 +34,13 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional
 
-# entry layout: [time, seq, fn_or_None, args]
+# entry layout: [time, sched, tb, seq, fn_or_None, args]
 _TIME = 0
-_SEQ = 1
-_FN = 2
-_ARGS = 3
+_SCHED = 1
+_TB = 2
+_SEQ = 3
+_FN = 4
+_ARGS = 5
 
 
 class Event:
@@ -74,26 +87,50 @@ class EventScheduler:
         """Current simulated time in nanoseconds."""
         return self._now
 
-    def schedule_at(self, time: int, fn: Callable, *args: Any) -> Event:
+    def schedule_at(
+        self,
+        time: int,
+        fn: Callable,
+        *args: Any,
+        sched_time: Optional[int] = None,
+        tb: tuple = (),
+    ) -> Event:
         """Schedule ``fn(*args)`` at absolute ``time`` (ns).
 
         Scheduling in the past raises ``ValueError`` — the simulation is
         causal by construction.
+
+        ``sched_time`` backdates the entry's tie-break key to a clock
+        value before now.  It exists for exactly one caller: shard
+        boundary injection, which re-creates an event that a *remote*
+        engine scheduled at ``sched_time`` and must slot it among
+        same-tick local events exactly where the serial run would have.
+        ``tb`` is the structural tie-break tuple (see :meth:`schedule`).
         """
         if time < self._now:
             raise ValueError(
                 f"cannot schedule at t={time}ns before now={self._now}ns"
             )
-        entry = [time, self._seq, fn, args]
+        sched = self._now if sched_time is None else sched_time
+        entry = [time, sched, tb, self._seq, fn, args]
         self._seq += 1
         heapq.heappush(self._heap, entry)
         return Event(entry)
 
-    def schedule(self, delay: int, fn: Callable, *args: Any) -> Event:
-        """Schedule ``fn(*args)`` after ``delay`` nanoseconds."""
+    def schedule(self, delay: int, fn: Callable, *args: Any, tb: tuple = ()) -> Event:
+        """Schedule ``fn(*args)`` after ``delay`` nanoseconds.
+
+        ``tb`` orders same-``(time, sched)`` entries *before* the
+        sequence number is consulted; the default empty tuple sorts
+        ahead of any non-empty one.  Wire arrivals pass the sending
+        ``(device name, port index)`` so that two frames serialized at
+        the same instant on different ports order by a key every shard
+        of a partitioned run computes identically — one process's
+        sequence counter cannot be reproduced in another.
+        """
         if delay < 0:
             raise ValueError(f"negative delay {delay}ns")
-        entry = [self._now + delay, self._seq, fn, args]
+        entry = [self._now + delay, self._now, tb, self._seq, fn, args]
         self._seq += 1
         heapq.heappush(self._heap, entry)
         return Event(entry)

@@ -89,6 +89,22 @@ class _Emitter:
             )
 
 
+class _SilentEmitter:
+    """Emitter for the non-primary shard of a boundary-spanning fault.
+
+    A LinkFlap whose endpoints live in different shards must drive the
+    port state in both, but its inject/clear counters and trace events
+    belong to exactly one (the ``a`` side), or the merged totals would
+    double-count.
+    """
+
+    def inject(self, kind: str, target: str) -> None:
+        pass
+
+    def clear(self, kind: str, target: str) -> None:
+        pass
+
+
 def _install_link_flap(net, resolve, injector: LinkFlap, windows, emitter) -> None:
     dev_a = _find_device(net, resolve, injector.a)
     dev_b = _find_device(net, resolve, injector.b)
@@ -261,7 +277,13 @@ class FaultRuntime:
 
 
 def install_plan(
-    net, plan: FaultPlan, resolve, seed: int, horizon_ns: int, telemetry
+    net,
+    plan: FaultPlan,
+    resolve,
+    seed: int,
+    horizon_ns: int,
+    telemetry,
+    local_names=None,
 ) -> FaultRuntime:
     """Arm every injector of ``plan`` on a freshly built network.
 
@@ -269,8 +291,21 @@ def install_plan(
     (see :func:`repro.runner.scenario.build_scenario_network`);
     ``horizon_ns`` is warmup + measurement, the clamp for every fault
     window and the watchdog / recovery-sampler stop time.
+
+    ``local_names`` restricts installation to one shard's devices
+    (repro.shard): an injector is armed only where its primary device
+    lives — host-targeted faults in the host's shard, an ErrorBurst in
+    its transmit-side shard, a LinkFlap wherever either endpoint lives
+    (counted on the ``a`` side only).  ``fault.windows`` is still
+    accumulated from the full plan so every shard reports the serial
+    total, and the deadlock watchdog — which walks a global wait-for
+    graph no single shard can see — is not armed on sharded runs.
     """
     emitter = _Emitter(telemetry, net.engine)
+
+    def is_local(device) -> bool:
+        return local_names is None or device.name in local_names
+
     total_windows = 0
     for index, injector in enumerate(plan.injectors):
         windows = injector.windows(horizon_ns)
@@ -278,29 +313,41 @@ def install_plan(
         if not windows:
             continue
         if isinstance(injector, LinkFlap):
-            _install_link_flap(net, resolve, injector, windows, emitter)
+            dev_a = _find_device(net, resolve, injector.a)
+            dev_b = _find_device(net, resolve, injector.b)
+            if is_local(dev_a):
+                _install_link_flap(net, resolve, injector, windows, emitter)
+            elif is_local(dev_b):
+                _install_link_flap(
+                    net, resolve, injector, windows, _SilentEmitter()
+                )
         elif isinstance(injector, ErrorBurst):
-            _install_error_burst(
-                net, resolve, injector, windows, emitter, seed, index
-            )
+            if is_local(_find_device(net, resolve, injector.a)):
+                _install_error_burst(
+                    net, resolve, injector, windows, emitter, seed, index
+                )
         elif isinstance(injector, PauseStorm):
             nic = _find_device(net, resolve, injector.host)
-            _PauseStormRuntime(net, nic, injector, windows, emitter)
+            if is_local(nic):
+                _PauseStormRuntime(net, nic, injector, windows, emitter)
         elif isinstance(injector, CnpImpairment):
             nic = _find_device(net, resolve, injector.host)
-            rng = random.Random(
-                derive_seed(seed, f"faults.cnp_impairment.{index}")
-            )
-            _CnpImpairmentRuntime(net, nic, injector, windows, emitter, rng)
+            if is_local(nic):
+                rng = random.Random(
+                    derive_seed(seed, f"faults.cnp_impairment.{index}")
+                )
+                _CnpImpairmentRuntime(net, nic, injector, windows, emitter, rng)
         elif isinstance(injector, SlowReceiver):
-            _install_slow_receiver(net, resolve, injector, windows, emitter)
+            nic = _find_device(net, resolve, injector.host)
+            if is_local(nic):
+                _install_slow_receiver(net, resolve, injector, windows, emitter)
         else:  # pragma: no cover - FaultPlan validates kinds
             raise TypeError(f"unknown injector {injector!r}")
     if total_windows:
         telemetry.metrics.counter("fault.windows").inc(total_windows)
 
     watchdog = None
-    if plan.watchdog is not None:
+    if plan.watchdog is not None and local_names is None:
         watchdog = DeadlockWatchdog(
             net, plan.watchdog, telemetry, stop_ns=horizon_ns
         )

@@ -29,6 +29,39 @@ from repro.telemetry import events as trace_events
 _COMPONENT = "faults"
 
 
+def fold_recovery_gauges(
+    metrics,
+    recovery_times: List[int],
+    flow_window_bytes: Dict[int, float],
+    flow_expected: Dict[int, float],
+) -> None:
+    """Fold the resilience gauges from per-flow accumulations.
+
+    Totals are summed in ascending flow-id order, so the result is a
+    pure function of the per-flow dicts — a sharded run merges each
+    shard's dicts (every flow is sampled in exactly one shard's
+    destination, the others contribute literal zeros) and folds once,
+    landing on the same floats as a serial run.
+    """
+    if recovery_times:
+        metrics.gauge("fault.max_recovery_ns").set_max(max(recovery_times))
+        metrics.gauge("fault.mean_recovery_ns").set(
+            sum(recovery_times) / len(recovery_times)
+        )
+    window_bytes = sum(flow_window_bytes[fid] for fid in sorted(flow_window_bytes))
+    expected_bytes = sum(flow_expected[fid] for fid in sorted(flow_expected))
+    if expected_bytes > 0:
+        metrics.gauge("fault.goodput_fraction").set(window_bytes / expected_bytes)
+    worst = 0.0
+    for fid, expected in flow_expected.items():
+        if expected <= 0:
+            continue
+        got = flow_window_bytes.get(fid, 0.0)
+        worst = max(worst, 1.0 - got / expected)
+    if flow_expected:
+        metrics.gauge("fault.victim_loss_fraction").set(max(0.0, worst))
+
+
 class RecoveryTracker:
     """Samples flow progress and scores recovery after fault windows."""
 
@@ -57,8 +90,6 @@ class RecoveryTracker:
         self._last_ns = net.engine.now
         self._baseline: Dict[int, float] = {}  # flow id -> bytes/ns EWMA
         self._recovering: Dict[int, Tuple[int, float]] = {}
-        self._window_bytes = 0.0
-        self._expected_bytes = 0.0
         self._flow_window_bytes: Dict[int, float] = {}
         self._flow_expected: Dict[int, float] = {}
         engine = net.engine
@@ -91,8 +122,6 @@ class RecoveryTracker:
                 baseline = self._baseline.get(fid)
                 if in_window:
                     if baseline is not None:
-                        self._window_bytes += delta
-                        self._expected_bytes += baseline * dt
                         self._flow_window_bytes[fid] = (
                             self._flow_window_bytes.get(fid, 0.0) + delta
                         )
@@ -127,24 +156,24 @@ class RecoveryTracker:
         if now + self.sample_ns <= self.stop_ns:
             self.net.engine.schedule(self.sample_ns, self._sample)
 
+    def export_state(self) -> Dict[str, object]:
+        """Raw per-flow accumulations, for sharded workers.
+
+        A shard ships these instead of folding locally; the parent
+        merges (entry-wise sums, list concatenation) and calls
+        :func:`fold_recovery_gauges` once on the union.
+        """
+        return {
+            "recovery_times": list(self.recovery_times),
+            "flow_window": dict(self._flow_window_bytes),
+            "flow_expected": dict(self._flow_expected),
+        }
+
     def finalize(self) -> None:
         """Fold the resilience gauges into the metrics registry."""
-        if self.recovery_times:
-            self.metrics.gauge("fault.max_recovery_ns").set_max(
-                max(self.recovery_times)
-            )
-            self.metrics.gauge("fault.mean_recovery_ns").set(
-                sum(self.recovery_times) / len(self.recovery_times)
-            )
-        if self._expected_bytes > 0:
-            self.metrics.gauge("fault.goodput_fraction").set(
-                self._window_bytes / self._expected_bytes
-            )
-        worst = 0.0
-        for fid, expected in self._flow_expected.items():
-            if expected <= 0:
-                continue
-            got = self._flow_window_bytes.get(fid, 0.0)
-            worst = max(worst, 1.0 - got / expected)
-        if self._flow_expected:
-            self.metrics.gauge("fault.victim_loss_fraction").set(max(0.0, worst))
+        fold_recovery_gauges(
+            self.metrics,
+            self.recovery_times,
+            self._flow_window_bytes,
+            self._flow_expected,
+        )

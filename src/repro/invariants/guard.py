@@ -197,6 +197,30 @@ class InvariantGuard:
         #: per-switch drop counts already accounted by the losslessness
         #: check, so one drop is reported once, not once per sweep
         self._seen_drops: Dict[str, int] = {}
+        #: sharded runs (repro.shard): device names this guard owns;
+        #: None means unrestricted (the serial default)
+        self._local_names = None
+        #: whether this guard runs the fleet-wide checks (exactly one
+        #: shard does, so the merged check count matches serial)
+        self._fleet = True
+
+    def restrict(self, local_names, fleet: bool) -> "InvariantGuard":
+        """Limit sweep checks to one shard's devices (repro.shard).
+
+        Each device is owned by exactly one shard, so the per-shard
+        check and violation counts sum to the serial totals.  Checks
+        that need global state are split: the fleet CNP conservation
+        *count* is kept by the ``fleet`` shard (without comparing — its
+        local counters are partial) and the actual comparison moves to
+        the merge step; boundary-cut cables are likewise re-checked
+        across shards at merge time from per-channel byte counters.
+        """
+        self._local_names = set(local_names)
+        self._fleet = fleet
+        return self
+
+    def _is_local(self, name: str) -> bool:
+        return self._local_names is None or name in self._local_names
 
     # --- lifecycle --------------------------------------------------------
 
@@ -256,6 +280,8 @@ class InvariantGuard:
     def check_build(self, net) -> None:
         """§4 threshold relations of every switch's configured buffers."""
         for switch in net.switches:
+            if not self._is_local(switch.name):
+                continue
             self.checks += 1
             for name, detail in config_violations(switch.config):
                 self.violation(name, switch.name, detail)
@@ -272,7 +298,8 @@ class InvariantGuard:
     def check_network(self, net) -> None:
         """All sweep checks: switches, links, fleet CNP conservation."""
         for switch in net.switches:
-            self.check_switch(switch)
+            if self._is_local(switch.name):
+                self.check_switch(switch)
         self._check_links(net)
         self._check_cnp_conservation(net)
 
@@ -319,10 +346,16 @@ class InvariantGuard:
         """Per-cable byte conservation: tx == delivered + lost + in flight."""
         devices = [*net.switches, *(host.nic for host in net.hosts)]
         for device in devices:
+            if not self._is_local(device.name):
+                continue
             for port in device.ports:
                 self.checks += 1
                 peer = port.peer
                 if peer is None:
+                    continue
+                if not self._is_local(peer.owner.name):
+                    # boundary-cut cable: the two byte counters live in
+                    # different shards; re-checked at merge time
                     continue
                 in_flight = port.tx_bytes - port.lost_bytes - peer.rx_bytes
                 if in_flight < 0:
@@ -340,7 +373,15 @@ class InvariantGuard:
         Senders are receiver NICs (the DCQCN NP) *and* switches (the
         FNCC fast-notification path originates CNPs at mark time).
         """
+        if not self._fleet:
+            return
         self.checks += 1
+        if self._local_names is not None:
+            # sharded: local counters are partial, so comparing would
+            # false-positive; the fleet shard keeps the serial check
+            # count and the comparison happens at merge over summed
+            # per-shard counters
+            return
         sent = received = dropped = 0
         for host in net.hosts:
             nic = host.nic

@@ -56,6 +56,7 @@ def _config_types() -> Dict[str, type]:
     )
     from repro.fabric import FabricSpec
     from repro.invariants import InvariantConfig
+    from repro.shard.spec import ShardingSpec
     from repro.sim.nic import NicConfig
     from repro.sim.switch import SwitchConfig
 
@@ -76,6 +77,7 @@ def _config_types() -> Dict[str, type]:
             SlowReceiver,
             WatchdogConfig,
             InvariantConfig,
+            ShardingSpec,
         )
     }
 
@@ -202,6 +204,13 @@ class Scenario:
     #: spec for the same cache-correctness reason as ``faults`` — a
     #: strict-mode run and an unguarded run are different cells
     invariants: Optional[Any] = None
+    #: optional sharded-execution request (a
+    #: :class:`~repro.shard.ShardingSpec`); only meaningful on
+    #: ``fabric`` topologies — elsewhere the scenario runs serial.
+    #: Sharded and serial results are identical by construction, but
+    #: the spec still rides in the cell hash (an explicitly sharded
+    #: scenario is a different cell)
+    sharding: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.topology not in TOPOLOGIES:
@@ -230,10 +239,18 @@ class Scenario:
                     "invariants must be an InvariantConfig, "
                     f"got {type(self.invariants).__name__}"
                 )
+        if self.sharding is not None:
+            from repro.shard.spec import ShardingSpec
+
+            if not isinstance(self.sharding, ShardingSpec):
+                raise TypeError(
+                    "sharding must be a ShardingSpec, "
+                    f"got {type(self.sharding).__name__}"
+                )
 
     def spec(self) -> Dict[str, Any]:
         """The JSON-serializable form (cache key + worker transport)."""
-        return {
+        data = {
             "topology": self.topology,
             "label": self.label,
             "warmup_ns": self.warmup_ns,
@@ -244,6 +261,11 @@ class Scenario:
             "faults": encode_value(self.faults),
             "invariants": encode_value(self.invariants),
         }
+        # emitted only when set, so the content hashes — and therefore
+        # the cached results — of every pre-existing scenario stand
+        if self.sharding is not None:
+            data["sharding"] = encode_value(self.sharding)
+        return data
 
     @classmethod
     def from_spec(cls, data: Mapping[str, Any]) -> "Scenario":
@@ -257,6 +279,7 @@ class Scenario:
             telemetry=decode_value(data.get("telemetry")),
             faults=decode_value(data.get("faults")),
             invariants=decode_value(data.get("invariants")),
+            sharding=decode_value(data.get("sharding")),
         )
 
 
@@ -332,18 +355,28 @@ def build_scenario_network(scenario: Scenario, seed: int):
     raise ValueError(f"unknown topology {scenario.topology!r}")
 
 
-def _install_samplers(net, scenario: Scenario, telemetry: Telemetry) -> None:
+def _install_samplers(
+    net, scenario: Scenario, telemetry: Telemetry, local_names=None
+) -> None:
     """Install the samplers a :class:`TelemetrySpec` asks for.
 
     Queue samplers watch every egress port of every switch and feed the
     shared ``switch.queue_bytes`` histogram; the rate sampler watches
     every flow.  All stop at the scenario horizon (``warmup +
     duration``) — they must not keep the event loop alive forever.
+
+    ``local_names`` (repro.shard) restricts sampling to one shard's
+    devices and to flows delivering there; merged sample histograms are
+    per-shard aggregates, not the serial global aggregate (see
+    DESIGN.md §14 for this documented divergence).
     """
     spec = scenario.telemetry
     if spec is None:
         return
     from repro.sim.monitor import QueueSampler, RateSampler, TierQueueSampler
+
+    def local(name: str) -> bool:
+        return local_names is None or name in local_names
 
     stop_ns = scenario.warmup_ns + scenario.duration_ns
     if spec.queue_sample_ns is not None:
@@ -354,6 +387,9 @@ def _install_samplers(net, scenario: Scenario, telemetry: Telemetry) -> None:
             # fabric-scale: one O(switches) aggregate probe per tier
             # instead of tens of thousands of per-port probes
             for tier, switches in net.fabric.tiers().items():
+                switches = [sw for sw in switches if local(sw.name)]
+                if not switches:
+                    continue
                 TierQueueSampler(
                     net.engine,
                     tier,
@@ -368,6 +404,8 @@ def _install_samplers(net, scenario: Scenario, telemetry: Telemetry) -> None:
         else:
             histogram = telemetry.metrics.histogram("switch.queue_bytes")
             for switch in net.switches:
+                if not local(switch.name):
+                    continue
                 for port in switch.ports:
                     QueueSampler(
                         net.engine,
@@ -379,13 +417,17 @@ def _install_samplers(net, scenario: Scenario, telemetry: Telemetry) -> None:
                         histogram=histogram,
                     )
     if spec.rate_sample_ns is not None:
-        RateSampler(
-            net.engine,
-            net.flows,
-            interval_ns=spec.rate_sample_ns,
-            stop_ns=stop_ns,
-            tracer=telemetry.tracer,
-        )
+        # goodput accrues at the destination NIC, so a flow is sampled
+        # in its destination's shard
+        flows = [f for f in net.flows if local(f.dst.name)]
+        if flows:
+            RateSampler(
+                net.engine,
+                flows,
+                interval_ns=spec.rate_sample_ns,
+                stop_ns=stop_ns,
+                tracer=telemetry.tracer,
+            )
 
 
 def run_scenario_inline(
@@ -393,6 +435,7 @@ def run_scenario_inline(
     seed: int,
     telemetry: Optional[Telemetry] = None,
     profiler=None,
+    _shard=None,
 ):
     """Run one repetition in this process; returns ``(RunResult, Network)``.
 
@@ -403,11 +446,30 @@ def run_scenario_inline(
     ``scenario.telemetry``; the caller owns closing its sink.
     ``profiler`` (a :class:`~repro.telemetry.SchedulerProfiler`) is
     installed on the engine before the run starts.
+
+    Sharded execution: when the scenario (or ``REPRO_SHARDS``) asks for
+    shards and the topology supports it, the run is delegated to
+    :mod:`repro.shard` and the returned network is ``None`` (the
+    devices lived in worker processes).  ``_shard`` is the internal
+    worker-side handle (a :class:`repro.shard.boundary.ShardContext`):
+    with it set, this function builds the full network but drives only
+    the shard's own devices, syncing at conservative-lookahead barriers.
     """
+    if telemetry is None and profiler is None and _shard is None:
+        from repro.shard.runner import maybe_run_sharded
+
+        sharded = maybe_run_sharded(scenario, seed)
+        if sharded is not None:
+            return sharded, None
     if telemetry is None:
         telemetry = Telemetry.from_spec(scenario.telemetry, seed=seed)
     net, resolve, probes = build_scenario_network(scenario, seed)
     net.attach_telemetry(telemetry)
+
+    def drives(host) -> bool:
+        """Is this host simulated by this process (always, when serial)?"""
+        return _shard is None or host.name in _shard.local_names
+
     guard = None
     if scenario.invariants is not None:
         from repro.invariants import InvariantGuard
@@ -415,6 +477,8 @@ def run_scenario_inline(
         # Before flows are added: add_flow propagates the guard to each
         # RP, and install() rejects mis-tuned buffer configs up front.
         guard = InvariantGuard(scenario.invariants, telemetry=telemetry)
+        if _shard is not None:
+            guard.restrict(_shard.local_names, fleet=_shard.shard_id == 0)
         guard.install(net, horizon_ns=scenario.warmup_ns + scenario.duration_ns)
     if profiler is not None:
         profiler.install(net.engine)
@@ -430,7 +494,15 @@ def run_scenario_inline(
             kwargs["initial_rate_bps"] = flow_spec.initial_rate_bps
         if flow_spec.cc_params:
             kwargs["cc_params"] = flow_spec.cc_params
-        flow = net.add_flow(resolve(flow_spec.src), resolve(flow_spec.dst), **kwargs)
+        src = resolve(flow_spec.src)
+        # every shard *builds* every flow (device ids, flow ids and rng
+        # draws must match the serial build), but only the shard owning
+        # the source host *drives* it — an undriven flow schedules no
+        # events and its replicated controller stays quiescent
+        flow = net.add_flow(src, resolve(flow_spec.dst), **kwargs)
+        if not drives(src):
+            flows.append((flow_spec.name, flow))
+            continue
         if flow_spec.greedy:
             flow.set_greedy()
         elif flow_spec.message_bytes is not None:
@@ -454,7 +526,12 @@ def run_scenario_inline(
                 flow.on_message_complete = _next_message
             probes_by_flow.append((flow_spec.name, flow))
         flows.append((flow_spec.name, flow))
-    _install_samplers(net, scenario, telemetry)
+    _install_samplers(
+        net,
+        scenario,
+        telemetry,
+        local_names=None if _shard is None else _shard.local_names,
+    )
     fault_runtime = None
     if scenario.faults is not None:
         from repro.faults import install_plan
@@ -466,12 +543,31 @@ def run_scenario_inline(
             seed=seed,
             horizon_ns=scenario.warmup_ns + scenario.duration_ns,
             telemetry=telemetry,
+            local_names=None if _shard is None else _shard.local_names,
         )
 
-    net.run_for(scenario.warmup_ns)
-    before = {name: flow.bytes_delivered for name, flow in flows}
-    net.run_for(scenario.duration_ns)
-    if fault_runtime is not None:
+    if _shard is None:
+        net.run_for(scenario.warmup_ns)
+        before = {name: flow.bytes_delivered for name, flow in flows}
+        net.run_for(scenario.duration_ns)
+    else:
+        _shard.bind(net)
+        _shard.fault_runtime = fault_runtime
+        before = {}
+
+        def _snapshot_before() -> None:
+            before.update((name, flow.bytes_delivered) for name, flow in flows)
+
+        if scenario.warmup_ns == 0:
+            _snapshot_before()
+        _shard.run(
+            scenario.warmup_ns,
+            scenario.warmup_ns + scenario.duration_ns,
+            on_warmup=_snapshot_before,
+        )
+    if fault_runtime is not None and _shard is None:
+        # sharded workers export raw recovery state instead; the merge
+        # step folds the union exactly once (see repro.shard.merge)
         fault_runtime.finalize()
     invariant_report: Dict[str, Any] = {}
     if guard is not None:
@@ -499,12 +595,15 @@ def run_scenario_inline(
         counters[f"fct_ns.{name}"] = fct
     flow_stats: List[Dict[str, Any]] = []
     if sim_host.flowstats_enabled():
-        flow_stats = [
-            row.to_json()
-            for row in collect_flow_stats(
-                net, {flow.flow_id: name for name, flow in flows}
-            )
-        ]
+        rows = collect_flow_stats(net, {flow.flow_id: name for name, flow in flows})
+        if _shard is not None:
+            # rows are sender-side bookkeeping, so only the shard that
+            # drives the source emits them; the one receiver-side field
+            # (a greedy row's size_bytes = bytes delivered at the
+            # destination) is patched in by the merge step
+            driven = {f.flow_id for f in net.flows if drives(f.src)}
+            rows = [row for row in rows if row.flow_id in driven]
+        flow_stats = [row.to_json() for row in rows]
     result = RunResult(
         label=scenario.label,
         seed=seed,
@@ -522,6 +621,20 @@ def run_scenario_inline(
 def run_scenario_cell(spec: Mapping[str, Any], seed: int) -> Dict[str, Any]:
     """Execute one (scenario, seed) cell — the worker-side entry point."""
     scenario = Scenario.from_spec(spec)
+    if scenario.sharding is not None:
+        from repro.shard.runner import maybe_run_sharded
+
+        # only an embedded ShardingSpec shards a *cached* cell: the
+        # spec rides in the cell hash, while REPRO_SHARDS does not —
+        # honoring the env var here would store shard-tagged results
+        # under the serial cell's key.  (It still applies to the
+        # never-cached inline commands: run/trace/bench.)
+        # before building telemetry: a sharded run owns its workers'
+        # sinks, and an unused parent-side jsonl sink would leak an
+        # empty file
+        sharded = maybe_run_sharded(scenario, seed)
+        if sharded is not None:
+            return sharded.to_json()
     telemetry = Telemetry.from_spec(scenario.telemetry, seed=seed)
     result, _ = run_scenario_inline(scenario, seed, telemetry=telemetry)
     telemetry.close()

@@ -1,0 +1,38 @@
+"""repro.shard — sharded parallel simulation with conservative sync.
+
+One fabric :class:`~repro.runner.scenario.Scenario` is partitioned
+into pod-aligned shards (:mod:`repro.shard.partition`), each driven by
+its own worker process (:mod:`repro.shard.worker`) in lockstep
+windows bounded by the pod↔core propagation delay — the conservative
+lookahead that makes rollback unnecessary (:mod:`repro.shard.boundary`).
+The parent routes boundary messages and null-message time grants
+(:mod:`repro.shard.runner`) and merges the partial results into one
+RunResult that is identical to the serial run for metrics-only
+telemetry (:mod:`repro.shard.merge`).  See DESIGN.md §14.
+"""
+
+from repro.shard.boundary import ShardContext, barrier_schedule
+from repro.shard.merge import merge_shard_results
+from repro.shard.partition import BoundaryChannel, ShardPlan, partition_fabric
+from repro.shard.runner import (
+    can_shard,
+    effective_shards,
+    maybe_run_sharded,
+    run_scenario_sharded,
+)
+from repro.shard.spec import SHARDS_ENV, ShardingSpec
+
+__all__ = [
+    "SHARDS_ENV",
+    "BoundaryChannel",
+    "ShardContext",
+    "ShardPlan",
+    "ShardingSpec",
+    "barrier_schedule",
+    "can_shard",
+    "effective_shards",
+    "maybe_run_sharded",
+    "merge_shard_results",
+    "partition_fabric",
+    "run_scenario_sharded",
+]

@@ -1,0 +1,290 @@
+"""Merging per-shard partial results into one serial-identical RunResult.
+
+Every merge rule below is chosen so that — for any scenario whose
+telemetry is metrics-only — the merged result is *bit-identical* to
+the serial run of the same (scenario, seed):
+
+* **counters sum.**  Each device is driven by exactly one shard and
+  its replicas elsewhere stay quiescent (zero), so per-shard totals
+  are a partition of the serial totals.  Integer partial sums are
+  exact; float keys only ever combine one real value with literal
+  zeros (``x + 0.0 == x``).
+* **single-provider keys copy.**  ``fct_ns.<name>`` counters are
+  recorded only by the shard driving the probe's source flow, so the
+  merge takes the one value as-is — preserving the ``-1.0``
+  "did not finish" sentinel a sum would corrupt.
+* **replicated keys max.**  ``invariant.sweeps`` and ``fault.windows``
+  are computed identically in every shard (engine-time driven / from
+  the full plan); summing would multiply them by the shard count.
+* **gauges max.**  Every gauge here is a peak over devices
+  (``switch.peak_occupancy_bytes``); the max of per-shard maxes is the
+  fleet max.
+* **histograms add bin-wise.**  Only samplers feed histograms, and
+  sharded sampler aggregates are per-shard — a documented divergence
+  from the serial global aggregate (DESIGN.md §14); bin-wise addition
+  is still the right total-preserving combination.
+* **recovery gauges fold once.**  Workers export raw
+  :class:`~repro.faults.recovery.RecoveryTracker` state; the merge
+  sums the per-flow dicts (each flow accrues in exactly one shard, the
+  rest contribute literal zeros) and calls
+  :func:`~repro.faults.recovery.fold_recovery_gauges` exactly once —
+  landing on the same floats as the serial fold.
+* **flow_stats concat + sort + patch.**  Rows are emitted by the
+  source-driving shard only; sorting by ``(flow_id, msg)`` reproduces
+  the serial emission order, and a greedy row's receiver-side
+  ``size_bytes`` is patched from the merged per-flow delivered bytes.
+
+The merge also completes the two invariant checks no single shard can
+evaluate: per-channel boundary byte conservation (from the workers'
+tx/lost/rx counters) and fleet-wide CNP conservation (from summed
+partial CNP counters).  In strict mode a failure raises
+:class:`~repro.invariants.InvariantViolation`, exactly as the in-run
+guard would.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.runner.results import RunResult
+from repro.shard.partition import ShardPlan
+
+#: metric counters computed identically in every shard (merge = max,
+#: not sum): periodic sweep counts are engine-time driven, and the
+#: fault-window count is derived from the full plan everywhere
+_REPLICATED_COUNTERS = frozenset({"invariant.sweeps", "fault.windows"})
+
+#: RunResult.counters prefixes recorded by exactly one shard
+_SINGLE_PROVIDER_PREFIX = "fct_ns."
+
+
+def _merge_counters(parts: List[Dict[str, float]], replicated=frozenset()):
+    """Key-union sum, with single-provider and replicated exceptions."""
+    merged: Dict[str, float] = {}
+    for part in parts:
+        for key, value in part.items():
+            if key.startswith(_SINGLE_PROVIDER_PREFIX):
+                merged[key] = value
+            elif key in replicated:
+                merged[key] = max(merged.get(key, value), value)
+            elif key in merged:
+                merged[key] += value
+            else:
+                merged[key] = value
+    return merged
+
+
+def _merge_histograms(parts: List[Dict[str, Any]]) -> Dict[str, Any]:
+    merged: Dict[str, Any] = {}
+    for part in parts:
+        for name, data in part.items():
+            base = merged.get(name)
+            if base is None:
+                merged[name] = {
+                    "buckets": list(data["buckets"]),
+                    "counts": list(data["counts"]),
+                    "count": data["count"],
+                    "total": data["total"],
+                    "min": data["min"],
+                    "max": data["max"],
+                }
+                continue
+            if base["buckets"] != list(data["buckets"]):
+                raise ValueError(
+                    f"histogram {name!r}: shard bucket layouts diverge"
+                )
+            base["counts"] = [
+                a + b for a, b in zip(base["counts"], data["counts"])
+            ]
+            base["count"] += data["count"]
+            base["total"] += data["total"]
+            edges = [v for v in (base["min"], data["min"]) if v is not None]
+            base["min"] = min(edges) if edges else None
+            edges = [v for v in (base["max"], data["max"]) if v is not None]
+            base["max"] = max(edges) if edges else None
+    return merged
+
+
+def _merge_metrics(
+    snapshots: List[Dict[str, Any]],
+    recovery_parts: List[Optional[Dict[str, Any]]],
+    stall_fraction: float,
+    shards: int,
+) -> Dict[str, Any]:
+    from repro.telemetry.metrics import MetricsRegistry
+
+    merged = {
+        "counters": _merge_counters(
+            [snap.get("counters", {}) for snap in snapshots],
+            replicated=_REPLICATED_COUNTERS,
+        ),
+        "gauges": {},
+        "histograms": _merge_histograms(
+            [snap.get("histograms", {}) for snap in snapshots]
+        ),
+    }
+    for snap in snapshots:
+        for name, value in snap.get("gauges", {}).items():
+            merged["gauges"][name] = max(merged["gauges"].get(name, value), value)
+
+    registry = MetricsRegistry.from_snapshot(merged)
+    live_recovery = [part for part in recovery_parts if part]
+    if live_recovery:
+        from repro.faults.recovery import fold_recovery_gauges
+
+        times: List[int] = []
+        window: Dict[int, float] = {}
+        expected: Dict[int, float] = {}
+        for part in live_recovery:
+            times.extend(part["recovery_times"])
+            for fid, value in part["flow_window"].items():
+                window[fid] = window.get(fid, 0.0) + value
+            for fid, value in part["flow_expected"].items():
+                expected[fid] = expected.get(fid, 0.0) + value
+        fold_recovery_gauges(registry, times, window, expected)
+    registry.gauge("shard.count").set(float(shards))
+    registry.gauge("shard.stall_fraction").set(stall_fraction)
+    return registry.snapshot()
+
+
+def _merge_invariant_report(
+    scenario,
+    reports: List[Dict[str, Any]],
+    extras: List[Dict[str, Any]],
+    plan: ShardPlan,
+) -> Dict[str, Any]:
+    live = [report for report in reports if report]
+    if not live and scenario.invariants is None:
+        return {}
+    merged: Dict[str, Any] = {
+        "mode": live[0]["mode"] if live else scenario.invariants.mode,
+        "checks": sum(report.get("checks", 0) for report in live),
+        "sweeps": max((report.get("sweeps", 0) for report in live), default=0),
+        "violation_count": sum(
+            report.get("violation_count", 0) for report in live
+        ),
+        "violations": sorted(
+            (v for report in live for v in report.get("violations", [])),
+            key=lambda v: (v["t_ns"], v["name"], v["component"], v["detail"]),
+        ),
+    }
+
+    def fail(name: str, component: str, detail: str) -> None:
+        if merged["mode"] == "strict":
+            from repro.invariants import InvariantViolation
+
+            raise InvariantViolation(name, component, 0, detail)
+        merged["violation_count"] += 1
+        merged["violations"].append(
+            {"name": name, "component": component, "t_ns": 0, "detail": detail}
+        )
+
+    # the boundary half of link byte conservation: the tx and rx byte
+    # counters of a cut cable live in different shards, so the in-run
+    # guard skipped the comparison (keeping the check count) and it
+    # completes here
+    for channel in plan.channels:
+        tx_half = extras[channel.tx_shard]["boundary"]
+        rx_half = extras[channel.rx_shard]["boundary"]
+        tx = tx_half["tx_bytes"].get(channel.channel_id, 0)
+        lost = tx_half["lost_bytes"].get(channel.channel_id, 0)
+        rx = rx_half["rx_bytes"].get(channel.channel_id, 0)
+        in_flight = tx - lost - rx
+        if in_flight < 0:
+            fail(
+                "link.byte_conservation",
+                f"{channel.tx_dev}[{channel.tx_port}]",
+                f"delivered+lost exceeds transmitted by {-in_flight}B "
+                f"across the shard boundary (tx={tx} rx={rx} lost={lost})",
+            )
+
+    # fleet-wide CNP conservation over summed partial counters (the
+    # fleet shard kept the serial check count without comparing)
+    sent = sum(extra["cnp"]["sent"] for extra in extras)
+    received = sum(extra["cnp"]["received"] for extra in extras)
+    dropped = sum(extra["cnp"]["dropped"] for extra in extras)
+    if received + dropped > sent:
+        fail(
+            "nic.cnp_conservation",
+            "fleet",
+            f"cnps received({received}) + dropped({dropped}) > sent({sent})",
+        )
+    return merged
+
+
+def merge_shard_results(
+    scenario,
+    seed: int,
+    results: List[Dict[str, Any]],
+    extras: List[Dict[str, Any]],
+    plan: ShardPlan,
+) -> RunResult:
+    """Combine per-shard partial results into the serial-equal whole."""
+    if len(results) != plan.shards or len(extras) != plan.shards:
+        raise ValueError(
+            f"expected {plan.shards} shard results, "
+            f"got {len(results)}/{len(extras)}"
+        )
+
+    flows_bps: Dict[str, float] = {}
+    for part in results:
+        for name, bps in part.get("flows_bps", {}).items():
+            flows_bps[name] = flows_bps.get(name, 0.0) + bps
+
+    delivered: Dict[int, int] = {}
+    for extra in extras:
+        for fid, value in extra.get("bytes_delivered", {}).items():
+            delivered[fid] = delivered.get(fid, 0) + value
+
+    flow_stats = sorted(
+        (row for part in results for row in part.get("flow_stats", [])),
+        key=lambda row: (row["flow_id"], row["msg"]),
+    )
+    for row in flow_stats:
+        if row["msg"] == -1:
+            # greedy rows carry the receiver-side delivered-byte total,
+            # which the source-driving shard that emitted the row
+            # cannot see
+            row["size_bytes"] = delivered.get(row["flow_id"], 0)
+
+    wall_s = sum(extra.get("wall_s", 0.0) for extra in extras)
+    stall_s = sum(extra.get("sync", {}).get("stall_s", 0.0) for extra in extras)
+    invariant_report = _merge_invariant_report(
+        scenario, [part.get("invariant_report", {}) for part in results],
+        extras, plan,
+    )
+    if invariant_report:
+        # mirror the serial guard: merge-time violations land in the
+        # invariant.violations counter too
+        base_count = sum(
+            part.get("invariant_report", {}).get("violation_count", 0)
+            for part in results
+        )
+        merge_violations = invariant_report["violation_count"] - base_count
+    else:
+        merge_violations = 0
+    metrics = _merge_metrics(
+        [part.get("metrics", {}) for part in results],
+        [extra.get("recovery") for extra in extras],
+        stall_fraction=(stall_s / wall_s) if wall_s > 0 else 0.0,
+        shards=plan.shards,
+    )
+    if merge_violations:
+        counters = metrics["counters"]
+        counters["invariant.violations"] = (
+            counters.get("invariant.violations", 0) + merge_violations
+        )
+
+    return RunResult(
+        label=scenario.label,
+        seed=seed,
+        warmup_ns=scenario.warmup_ns,
+        duration_ns=scenario.duration_ns,
+        flows_bps=flows_bps,
+        counters=_merge_counters(
+            [part.get("counters", {}) for part in results]
+        ),
+        metrics=metrics,
+        invariant_report=invariant_report,
+        flow_stats=flow_stats,
+    )

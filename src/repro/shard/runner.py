@@ -1,0 +1,207 @@
+"""Parent-side orchestration of one sharded run.
+
+:func:`maybe_run_sharded` is the single dispatch point, called by
+:func:`repro.runner.scenario.run_scenario_inline` (and the cell entry
+point) before any serial work starts.  It answers ``None`` whenever
+the run should stay serial — non-fabric topology, shard count 1, a
+daemonic process that cannot spawn children, or a fabric whose
+boundary links give no positive lookahead — so callers need no
+topology knowledge of their own.
+
+The sync topology is a star: every worker exchanges messages only
+with this parent over its own pipe.  Workers all derive the identical
+barrier schedule from (window, warmup, horizon), so each routing round
+is lockstep: receive one ``("sync", barrier, outbox)`` from every
+still-running worker, check the barriers agree, route each boundary
+message to its destination shard's inbox, and answer every worker
+with ``("sync", barrier, inbox)``.  An empty inbox is still sent — it
+is the null message that grants the receiving shard permission to
+advance another window.  After the final barrier each worker sends
+``("done", result_json, extras)`` and the parent merges the parts
+(:mod:`repro.shard.merge`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.shard.partition import partition_fabric
+from repro.shard.spec import SHARDS_ENV
+from repro.shard.worker import shard_worker_main
+
+#: statistics of the most recent sharded run in this process, for
+#: ``repro bench`` (None until a sharded run completes)
+LAST_STATS: Optional[Dict[str, Any]] = None
+
+
+def effective_shards(scenario) -> int:
+    """The shard count this scenario should run with (1 = serial)."""
+    if scenario.sharding is not None:
+        return scenario.sharding.shards
+    raw = os.environ.get(SHARDS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise ValueError(
+            f"{SHARDS_ENV} must be an integer shard count, got {raw!r}"
+        ) from None
+
+
+def can_shard(scenario) -> bool:
+    """Whether sharded execution is even an option for this scenario.
+
+    Only ``fabric`` topologies have the pod structure the partitioner
+    needs, and a daemonic process (a process-pool worker) may not
+    spawn children — those runs silently stay serial.
+    """
+    if scenario.topology != "fabric":
+        return False
+    return not multiprocessing.current_process().daemon
+
+
+def maybe_run_sharded(scenario, seed: int):
+    """Run sharded if requested and possible; ``None`` means run serial."""
+    if not can_shard(scenario):
+        return None
+    shards = effective_shards(scenario)
+    if shards <= 1:
+        return None
+    return run_scenario_sharded(scenario, seed, shards)
+
+
+def _plan_for(scenario, seed: int, shards: int):
+    """Build the fabric once, parent-side, to compute the shard plan."""
+    from repro.fabric import build_fabric
+
+    kwargs = dict(scenario.topology_kwargs)
+    fabric = build_fabric(spec=kwargs.pop("spec", None), seed=seed, **kwargs)
+    return partition_fabric(fabric, shards)
+
+
+def run_scenario_sharded(scenario, seed: int, shards: int):
+    """Run one (scenario, seed) across ``shards`` worker processes.
+
+    Returns the merged :class:`~repro.runner.results.RunResult`, or
+    ``None`` when the partition offers no positive lookahead (the
+    caller falls back to serial execution).
+    """
+    from repro.invariants import InvariantViolation
+    from repro.shard.merge import merge_shard_results
+
+    plan = _plan_for(scenario, seed, shards)
+    if plan.lookahead_ns <= 0 or not plan.channels:
+        return None
+    window = plan.lookahead_ns
+    if scenario.sharding is not None and scenario.sharding.window_ns is not None:
+        # the override may only shrink the window: anything larger
+        # than the lookahead would let a frame arrive in the past
+        window = min(scenario.sharding.window_ns, plan.lookahead_ns)
+
+    spec = scenario.spec()
+    procs: List[multiprocessing.Process] = []
+    conns = []
+    try:
+        for shard_id in range(shards):
+            parent_conn, child_conn = multiprocessing.Pipe()
+            proc = multiprocessing.Process(
+                target=shard_worker_main,
+                args=(child_conn, spec, seed, plan, shard_id, window),
+                name=f"repro-shard-{shard_id}",
+            )
+            proc.start()
+            child_conn.close()
+            procs.append(proc)
+            conns.append(parent_conn)
+
+        results: List[Optional[Dict[str, Any]]] = [None] * shards
+        extras: List[Optional[Dict[str, Any]]] = [None] * shards
+        pending = set(range(shards))
+        sync_rounds = 0
+        routed = 0
+        while pending:
+            inboxes: List[list] = [[] for _ in range(shards)]
+            syncing = []
+            # drain workers as they arrive (connection.wait), not in
+            # shard order — a blocking recv on shard 0 while shard 3 is
+            # already waiting would add its latency to every round
+            waiting = {conns[shard_id]: shard_id for shard_id in pending}
+            while waiting:
+                for conn in multiprocessing.connection.wait(list(waiting)):
+                    shard_id = waiting.pop(conn)
+                    try:
+                        message = conn.recv()
+                    except EOFError:
+                        raise RuntimeError(
+                            f"shard {shard_id} worker died without reporting "
+                            f"(exit code {procs[shard_id].exitcode})"
+                        ) from None
+                    kind = message[0]
+                    if kind == "done":
+                        results[shard_id] = message[1]
+                        extras[shard_id] = message[2]
+                        pending.discard(shard_id)
+                    elif kind == "error":
+                        _, exc, detail = message
+                        if isinstance(exc, InvariantViolation):
+                            raise exc
+                        raise RuntimeError(
+                            f"shard {shard_id} worker failed:\n{detail}"
+                        ) from exc
+                    elif kind == "sync":
+                        syncing.append((shard_id, message[1]))
+                        for boundary_message in message[2]:
+                            inboxes[boundary_message[0]].append(
+                                boundary_message
+                            )
+                            routed += 1
+                    else:
+                        raise RuntimeError(
+                            f"shard {shard_id}: unknown message kind {kind!r}"
+                        )
+            if syncing:
+                barriers = {barrier for _, barrier in syncing}
+                if len(barriers) != 1 or len(syncing) != len(pending):
+                    raise RuntimeError(
+                        f"shard barrier desync: {sorted(syncing)} "
+                        f"with {sorted(pending)} pending"
+                    )
+                barrier = barriers.pop()
+                sync_rounds += 1
+                for shard_id, _ in syncing:
+                    conns[shard_id].send(("sync", barrier, inboxes[shard_id]))
+
+        merged = merge_shard_results(scenario, seed, results, extras, plan)
+        wall = [extra["wall_s"] for extra in extras]
+        stall = [extra["sync"]["stall_s"] for extra in extras]
+        events = [extra["events"] for extra in extras]
+        global LAST_STATS
+        LAST_STATS = {
+            "shards": shards,
+            "window_ns": window,
+            "lookahead_ns": plan.lookahead_ns,
+            "channels": len(plan.channels),
+            "barriers": sync_rounds,
+            "messages": routed,
+            "wall_s": wall,
+            "stall_s": stall,
+            "events": events,
+            "events_per_sec": [
+                (n / w) if w > 0 else 0.0 for n, w in zip(events, wall)
+            ],
+            "stall_fraction": (
+                sum(stall) / sum(wall) if sum(wall) > 0 else 0.0
+            ),
+        }
+        return merged
+    finally:
+        for conn in conns:
+            conn.close()
+        for proc in procs:
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()

@@ -1,0 +1,48 @@
+"""Declarative sharding request (:class:`ShardingSpec`).
+
+A :class:`~repro.runner.scenario.Scenario` carries one in its
+``sharding`` field; like ``faults`` and ``invariants`` it is frozen and
+JSON-serializable, so a sharded scenario participates in the result
+cache and ships to worker processes unchanged.  ``shards=1`` (the
+default) means serial execution — the spec is inert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: environment variable selecting a shard count for fabric scenarios
+#: that do not embed a :class:`ShardingSpec` (``repro run --shards N``
+#: sets it for the invocation); ``1`` / unset = serial
+SHARDS_ENV = "REPRO_SHARDS"
+
+
+@dataclass(frozen=True)
+class ShardingSpec:
+    """How to split one fabric scenario across worker processes.
+
+    ``shards`` — number of shard worker processes.  Pods are assigned
+    round-robin (pod *p* to shard ``p % shards``), core switches
+    likewise (core *c* to shard ``c % shards``); asking for more shards
+    than the fabric has pods leaves the surplus workers idle but is not
+    an error.
+
+    ``window_ns`` — optional override of the conservative sync window.
+    The partitioner guarantees a lookahead equal to the smallest
+    propagation delay over all pod↔core boundary links; a window larger
+    than that lookahead would violate causality, so the override may
+    only *shrink* the window (useful to stress the sync protocol in
+    tests).  ``None`` uses the full lookahead.
+    """
+
+    shards: int = 1
+    window_ns: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.window_ns is not None and self.window_ns <= 0:
+            raise ValueError(
+                f"window_ns must be positive, got {self.window_ns}"
+            )

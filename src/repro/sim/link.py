@@ -70,6 +70,7 @@ class Port:
         "_paused_ns",
         "link_up",
         "link_down_drops",
+        "remote_sink",
     )
 
     def __init__(self, engine: EventScheduler, owner: Device, rate_bps: float, prop_delay_ns: int):
@@ -112,6 +113,10 @@ class Port:
         # link fault state (LinkFlap injector)
         self.link_up = True
         self.link_down_drops = 0
+        # cross-shard cut (repro.shard): when set, frames that survive
+        # serialization are handed to the sink (which ships them to the
+        # peer's shard) instead of being scheduled on the local engine
+        self.remote_sink = None
 
     # --- pause state --------------------------------------------------------
 
@@ -256,8 +261,20 @@ class Port:
                     reason="corrupt",
                     bytes=pkt.size,
                 )
+        elif self.remote_sink is None:
+            # tb orders simultaneous arrivals from different senders by
+            # the sending port, not by this engine's sequence counter —
+            # the one tie-break a sharded run can reproduce exactly
+            # (see repro.shard.boundary._inject)
+            self.engine.schedule(
+                self.prop_delay_ns,
+                peer.owner.receive,
+                pkt,
+                peer,
+                tb=(self.owner.name, self.index),
+            )
         else:
-            self.engine.schedule(self.prop_delay_ns, peer.owner.receive, pkt, peer)
+            self.remote_sink(pkt)
         self.owner.tx_complete(self, pkt)
         self.notify()
 

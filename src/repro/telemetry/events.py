@@ -44,6 +44,7 @@ event type                level  meaning
 ``watchdog.stall``        cc     no delivery progress despite backlog
 ``watchdog.scan``         full   periodic watchdog sweep (edge count)
 ``invariant.violation``   cc     a simulation invariant check failed
+``shard.sync``            full   one shard reached a sync barrier
 ========================  =====  ==========================================
 
 Levels nest: ``off`` < ``cc`` < ``full``.  ``cc`` carries only the
@@ -86,6 +87,7 @@ WATCHDOG_CYCLE = "watchdog.cycle"
 WATCHDOG_STALL = "watchdog.stall"
 WATCHDOG_SCAN = "watchdog.scan"
 INVARIANT_VIOLATION = "invariant.violation"
+SHARD_SYNC = "shard.sync"
 
 # --- levels ----------------------------------------------------------------
 
@@ -130,6 +132,7 @@ FULL_EVENTS = frozenset(
         SAMPLE_RATE,
         FAULT_CNP_DELAY,
         WATCHDOG_SCAN,
+        SHARD_SYNC,
     }
 )
 
@@ -206,6 +209,7 @@ TRACE_SCHEMA: Dict[str, Tuple[str, ...]] = {
     WATCHDOG_STALL: ("ticks",),
     WATCHDOG_SCAN: ("edges",),
     INVARIANT_VIOLATION: ("name", "detail"),
+    SHARD_SYNC: ("barrier", "sent", "recv"),
 }
 
 #: legal ``reason`` values of ``pkt.drop`` events
