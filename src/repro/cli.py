@@ -158,8 +158,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--resume",
         action="store_true",
-        help="resume an interrupted sweep from its checkpoint "
-        "(sets REPRO_RESUME)",
+        help="resume an interrupted sweep — or an interrupted sharded "
+        "run, mid-simulation — from its checkpoint (sets REPRO_RESUME)",
     )
     parser.add_argument(
         "--timeout",
@@ -489,8 +489,10 @@ def bench_main(argv: Sequence[str]) -> int:
             ]
         )
         if args.shards and args.shards > 1:
-            # time the same cell again, sharded; LAST_STATS stays None
-            # when the scenario cannot shard (non-fabric topology)
+            # time the same cell again, sharded (checkpoint journaling
+            # included, so its overhead is visible in the numbers);
+            # LAST_STATS stays None when the scenario cannot shard
+            # (non-fabric topology)
             from repro.shard import SHARDS_ENV
             from repro.shard import runner as shard_runner
 
@@ -504,7 +506,7 @@ def bench_main(argv: Sequence[str]) -> int:
                 os.environ.pop(SHARDS_ENV, None)
             stats = shard_runner.LAST_STATS
             if stats is None:
-                rows[-1].extend(["-", "-", "-", "-", "-"])
+                rows[-1].extend(["-", "-", "-", "-", "-", "-"])
             else:
                 speedup = wall_s / shard_wall_s if shard_wall_s > 0 else 0.0
                 # the compute-bound speedup: serial wall over the
@@ -518,6 +520,7 @@ def bench_main(argv: Sequence[str]) -> int:
                     for w, s in zip(stats["wall_s"], stats["stall_s"])
                 ]
                 bound = wall_s / max(busy) if max(busy) > 0 else 0.0
+                checkpoint_s = stats.get("checkpoint_s", 0.0)
                 record[scenario_id].update(
                     {
                         "shards": stats["shards"],
@@ -530,6 +533,7 @@ def bench_main(argv: Sequence[str]) -> int:
                         ),
                         "speedup": round(speedup, 2),
                         "speedup_compute_bound": round(bound, 2),
+                        "shard_checkpoint_s": round(checkpoint_s, 4),
                     }
                 )
                 rows[-1].extend(
@@ -539,6 +543,7 @@ def bench_main(argv: Sequence[str]) -> int:
                         f"{stats['stall_fraction']:.0%}",
                         f"{speedup:.2f}x",
                         f"{bound:.2f}x",
+                        f"{checkpoint_s:.3f}",
                     ]
                 )
     headers = [
@@ -551,7 +556,14 @@ def bench_main(argv: Sequence[str]) -> int:
         "peak RSS KB",
     ]
     if args.shards and args.shards > 1:
-        headers += ["shards", "shard wall s", "sync stall", "speedup", "bound"]
+        headers += [
+            "shards",
+            "shard wall s",
+            "sync stall",
+            "speedup",
+            "bound",
+            "ckpt s",
+        ]
     print(format_table(headers, rows))
     if args.dry_run:
         return 0
@@ -905,6 +917,16 @@ def run_scenario_main(scenario_id: str, args) -> int:
             f"{stats['messages']} boundary messages, "
             f"sync stall {stats['stall_fraction']:.0%}"
         )
+        restarts = stats.get("restarts", 0)
+        resumed = stats.get("resumed_barriers", 0)
+        degraded = stats.get("degraded", False)
+        if restarts or resumed or degraded:
+            # the survived-fault summary; CI greps for this line
+            print(
+                f"resilience: {restarts} worker restarts, "
+                f"{resumed} barriers resumed from checkpoint, "
+                f"degraded={'yes' if degraded else 'no'}"
+            )
     elif getattr(args, "shards", None) and args.shards > 1:
         print(
             f"sharding skipped ({scenario.topology!r} topology runs serial)"

@@ -333,6 +333,16 @@ def chaos_named_scenario():
     return chaos_scenario(0.5)
 
 
+@scenario(
+    "chaos-shard",
+    "k=4 fat-tree incast under storm + boundary faults (shardable)",
+)
+def chaos_shard_scenario():
+    from repro.experiments.chaos import chaos_fabric_scenario
+
+    return chaos_fabric_scenario(0.5)
+
+
 @scenario("benchmark", "Fig 16 benchmark traffic: user message streams + incast")
 def benchmark_named_scenario():
     from repro.experiments.fct_grid import benchmark_scenario

@@ -129,6 +129,80 @@ def chaos_scenario(
     )
 
 
+def chaos_fabric_scenario(
+    intensity: float = 1.0,
+    cc: str = "dcqcn",
+    k: int = 4,
+    duration_ns: Optional[int] = None,
+    warmup_ns: Optional[int] = None,
+) -> Scenario:
+    """The fabric-scale chaos maze: incast under storm + boundary faults.
+
+    The :func:`~repro.experiments.fabric_scale.fabric_incast_scenario`
+    traffic on a ``k``-ary fat-tree, overlaid with the dumbbell chaos
+    plan's fault vocabulary aimed at the topology's weak points: a
+    PAUSE storm at the incast destination NIC (the paper's
+    storm-at-the-root pathology), a flap of a pod↔core trunk and an
+    error burst on another — both *shard-boundary* cables at every
+    shard count, so the sharded determinism tests can drive the full
+    fault vocabulary through the sync protocol.  ``intensity`` scales
+    the fault durations exactly like :func:`chaos_scenario`.
+    """
+    import dataclasses
+
+    from repro.experiments.fabric_scale import fabric_incast_scenario
+    from repro.faults import ErrorBurst, FaultPlan, LinkFlap, PauseStorm
+
+    if not 0.0 <= intensity <= 1.0:
+        raise ValueError(f"intensity must be in [0, 1], got {intensity}")
+    duration_ns = duration_ns or scale.pick(
+        units.ms(1), units.ms(4), units.us(300)
+    )
+    if warmup_ns is None:
+        warmup_ns = units.us(50)
+    injectors = []
+    if intensity > 0.0:
+        storm_ns = int(duration_ns * 0.4 * intensity)
+        flap_ns = int(duration_ns * 0.1 * intensity)
+        burst_ns = int(duration_ns * 0.3 * intensity)
+        if storm_ns > 0:
+            injectors.append(PauseStorm(
+                host="p0e0h0",
+                start_ns=warmup_ns + duration_ns // 8,
+                duration_ns=storm_ns,
+            ))
+        if flap_ns > 0:
+            injectors.append(LinkFlap(
+                a="p1a0",
+                b="c0",
+                start_ns=warmup_ns + (duration_ns * 3) // 4,
+                down_ns=flap_ns,
+            ))
+        if burst_ns > 0:
+            injectors.append(ErrorBurst(
+                a=f"p{k - 1}a1",
+                b=f"c{k - 1}",
+                rate=0.02,
+                start_ns=warmup_ns + duration_ns // 3,
+                duration_ns=burst_ns,
+            ))
+    # no WatchdogConfig here: the deadlock watchdog walks a *global*
+    # pause wait-for graph that no single shard can see, so it is never
+    # armed on sharded runs (repro.faults.install_plan) — arming it
+    # would break the serial==sharded bit-identity this scenario exists
+    # to exercise
+    faults = FaultPlan(
+        injectors=tuple(injectors),
+        recovery_sample_ns=duration_ns // 12,
+    ) if injectors else None
+    base = fabric_incast_scenario(
+        k=k,
+        duration_ns=duration_ns,
+        label=f"chaos-fabric/{cc}/k{k}/{intensity:.2f}",
+    )
+    return dataclasses.replace(base, warmup_ns=warmup_ns, faults=faults)
+
+
 def run_chaos(
     intensities: Sequence[float] = (0.0, 0.25, 0.5, 1.0),
     cc: str = "dcqcn",

@@ -113,6 +113,13 @@ class RunResult:
     #: :class:`repro.telemetry.flowstats.FlowStats`; empty when the run
     #: predates FCT recording or ``REPRO_FLOWSTATS=off``
     flow_stats: List[Dict[str, Any]] = field(default_factory=list)
+    #: shard-resilience record of the run that produced this result:
+    #: restarts, resumed barriers, failures survived, degradation to
+    #: serial (see DESIGN.md §15).  Empty — and absent from the JSON —
+    #: for serial runs and for sharded runs that saw no fault, so an
+    #: undisturbed sharded result stays bit-identical to its serial
+    #: twin.
+    shard_report: Dict[str, Any] = field(default_factory=dict)
 
     def throughput_gbps(self, flow: str) -> float:
         return self.flows_bps[flow] / 1e9
@@ -153,6 +160,11 @@ class RunResult:
             "metrics": self.metrics,
             "invariant_report": self.invariant_report,
             "flow_stats": [dict(row) for row in self.flow_stats],
+            **(
+                {"shard_report": self.shard_report}
+                if self.shard_report
+                else {}
+            ),
         }
 
     @classmethod
@@ -168,6 +180,7 @@ class RunResult:
             metrics=data.get("metrics", {}),
             invariant_report=data.get("invariant_report", {}),
             flow_stats=[dict(row) for row in data.get("flow_stats", [])],
+            shard_report=dict(data.get("shard_report", {})),
         )
 
     def table(self) -> str:

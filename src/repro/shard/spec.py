@@ -5,6 +5,14 @@ A :class:`~repro.runner.scenario.Scenario` carries one in its
 JSON-serializable, so a sharded scenario participates in the result
 cache and ships to worker processes unchanged.  ``shards=1`` (the
 default) means serial execution — the spec is inert.
+
+Beyond the shard count the spec carries the run's *robustness* knobs
+(DESIGN.md §15): checkpoint journaling and its durability cadence,
+the worker-restart budget, stall detection and whether an
+unsalvageable fleet degrades to serial re-execution.  All of them are
+spec fields — not ambient environment — precisely so they enter the
+cell's cache identity: a checkpointed, supervised run is a different
+cell than an unsupervised one.
 """
 
 from __future__ import annotations
@@ -34,10 +42,41 @@ class ShardingSpec:
     than that lookahead would violate causality, so the override may
     only *shrink* the window (useful to stress the sync protocol in
     tests).  ``None`` uses the full lookahead.
+
+    ``checkpoint`` — journal completed barrier rounds to
+    ``results/.checkpoints/shard/`` so the run can be resumed
+    (``--resume``) and dead workers restarted in place.  ``None``
+    inherits the ``REPRO_SHARD_CHECKPOINT`` / ``REPRO_CHECKPOINT``
+    policy (default on).
+
+    ``checkpoint_every`` — durability cadence: buffered journal lines
+    are written out every this many barrier rounds.  An interrupt
+    flushes everything buffered; only a hard parent kill can lose the
+    last ``< checkpoint_every`` rounds.
+
+    ``max_restarts`` — fleet-wide budget of worker restarts (death or
+    stall).  ``0`` disables restarts: the first loss moves straight to
+    the next rung of the degradation ladder.
+
+    ``degrade`` — when the restart budget is exhausted, fall back to
+    one serial re-execution of the scenario (bit-identical by
+    construction) instead of failing the run.  With ``degrade=False``
+    the run raises a structured
+    :class:`~repro.shard.supervise.ShardRunError` instead.
+
+    ``stall_timeout_s`` — how long the parent waits at a barrier with
+    no message before declaring the silent workers stalled and
+    recycling them.  ``None`` inherits the per-cell wall-clock budget
+    (``REPRO_RUN_TIMEOUT`` / ``REPRO_SCALE`` policy).
     """
 
     shards: int = 1
     window_ns: Optional[int] = None
+    checkpoint: Optional[bool] = None
+    checkpoint_every: int = 8
+    max_restarts: int = 1
+    degrade: bool = True
+    stall_timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -45,4 +84,17 @@ class ShardingSpec:
         if self.window_ns is not None and self.window_ns <= 0:
             raise ValueError(
                 f"window_ns must be positive, got {self.window_ns}"
+            )
+        if self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+        if self.stall_timeout_s is not None and self.stall_timeout_s <= 0:
+            raise ValueError(
+                f"stall_timeout_s must be positive or None, "
+                f"got {self.stall_timeout_s}"
             )

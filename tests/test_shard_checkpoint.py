@@ -1,0 +1,138 @@
+"""The shard checkpoint journal: round-trip, tolerance, identity.
+
+Unit tests of :mod:`repro.shard.checkpoint` in isolation — the journal
+must hand back exactly the tuples the sync protocol ships (shapes
+included: replay feeds them straight into
+:meth:`~repro.shard.boundary.ShardContext._inject`), must shrug off
+torn tail lines and stale journals, and must key runs so that resuming
+never picks up another run's state.
+"""
+
+import json
+
+import pytest
+
+from repro.shard.checkpoint import ShardCheckpoint, replay_slice, run_token
+
+
+def _msg(rx_shard, channel, seq, arrival):
+    packet = (1, 2, 3, 4, 1000, seq, 0, 0, 7, 0, False, 0)
+    return (rx_shard, channel, seq, arrival, packet)
+
+
+def _checkpoint(tmp_path, every=1, label="t", seed=1, shards=2, window=500):
+    return ShardCheckpoint(
+        {"label": label},
+        seed,
+        shards,
+        window,
+        every=every,
+        root=tmp_path,
+    )
+
+
+SCHEDULE = [500, 1000, 1500, 2000]
+
+
+class TestJournalRoundTrip:
+    def test_rounds_survive_a_write_read_cycle_bit_exact(self, tmp_path):
+        ck = _checkpoint(tmp_path)
+        rounds = [
+            (500, [[_msg(0, 3, 0, 700)], []]),
+            (1000, [[], [_msg(1, 5, 0, 1200), _msg(1, 5, 1, 1300)]]),
+        ]
+        for barrier, inboxes in rounds:
+            ck.record_round(barrier, inboxes)
+        loaded = _checkpoint(tmp_path).load(SCHEDULE)
+        # exact tuple shapes: replay injects these without conversion
+        assert loaded == rounds
+        message = loaded[1][1][1][0]
+        assert isinstance(message, tuple)
+        assert isinstance(message[4], tuple)
+
+    def test_replay_slice_is_one_shards_view(self, tmp_path):
+        log = [
+            (500, [[_msg(0, 3, 0, 700)], [_msg(1, 5, 0, 800)]]),
+            (1000, [[], [_msg(1, 5, 1, 1200)]]),
+        ]
+        assert replay_slice(log, 0) == [
+            (500, [_msg(0, 3, 0, 700)]),
+            (1000, []),
+        ]
+        assert replay_slice(log, 1) == [
+            (500, [_msg(1, 5, 0, 800)]),
+            (1000, [_msg(1, 5, 1, 1200)]),
+        ]
+
+    def test_meta_file_written_alongside(self, tmp_path):
+        ck = _checkpoint(tmp_path, label="meta-run")
+        ck.record_round(500, [[], []])
+        meta = json.loads((ck.dir / "meta.json").read_text())
+        assert meta["label"] == "meta-run"
+        assert meta["shards"] == 2
+
+
+class TestDurabilityCadence:
+    def test_rounds_buffer_until_every_then_flush(self, tmp_path):
+        ck = _checkpoint(tmp_path, every=3)
+        ck.record_round(500, [[], []])
+        ck.record_round(1000, [[], []])
+        assert not ck.path.exists()  # still buffered
+        ck.record_round(1500, [[], []])
+        assert len(ck.path.read_text().splitlines()) == 3
+        ck.record_round(2000, [[], []])
+        assert len(ck.path.read_text().splitlines()) == 3
+        ck.flush()  # the interrupt path persists the partial buffer
+        assert len(ck.path.read_text().splitlines()) == 4
+
+    def test_discard_removes_the_journal_and_the_buffer(self, tmp_path):
+        ck = _checkpoint(tmp_path, every=10)
+        ck.record_round(500, [[], []])
+        ck.discard()
+        assert not ck.dir.exists()
+        ck.flush()  # buffered line died with the discard
+        assert not ck.dir.exists()
+
+    def test_overhead_clock_accumulates(self, tmp_path):
+        ck = _checkpoint(tmp_path)
+        assert ck.checkpoint_s == 0.0
+        ck.record_round(500, [[_msg(0, 1, 0, 700)], []])
+        assert ck.checkpoint_s > 0.0
+
+
+class TestToleranceAndIdentity:
+    def test_missing_journal_loads_empty(self, tmp_path):
+        assert _checkpoint(tmp_path).load(SCHEDULE) == []
+
+    def test_torn_tail_line_truncates_not_raises(self, tmp_path):
+        ck = _checkpoint(tmp_path)
+        ck.record_round(500, [[_msg(0, 1, 0, 700)], []])
+        ck.record_round(1000, [[], []])
+        with open(ck.path, "a") as handle:
+            handle.write('{"barrier": 1500, "inboxes": [[')  # the interrupt
+        loaded = _checkpoint(tmp_path).load(SCHEDULE)
+        assert [barrier for barrier, _ in loaded] == [500, 1000]
+
+    def test_schedule_mismatch_truncates(self, tmp_path):
+        ck = _checkpoint(tmp_path)
+        ck.record_round(500, [[], []])
+        ck.record_round(999, [[], []])  # not on this run's schedule
+        loaded = _checkpoint(tmp_path).load(SCHEDULE)
+        assert [barrier for barrier, _ in loaded] == [500]
+
+    def test_wrong_shard_count_line_truncates(self, tmp_path):
+        ck = _checkpoint(tmp_path)
+        ck.record_round(500, [[], [], []])  # three inboxes, two shards
+        assert _checkpoint(tmp_path).load(SCHEDULE) == []
+
+    def test_token_separates_runs(self):
+        base = run_token({"label": "a"}, 1, 2, 500)
+        assert run_token({"label": "a"}, 1, 2, 500) == base
+        assert run_token({"label": "b"}, 1, 2, 500) != base
+        assert run_token({"label": "a"}, 2, 2, 500) != base
+        assert run_token({"label": "a"}, 1, 4, 500) != base
+        assert run_token({"label": "a"}, 1, 2, 250) != base
+
+    def test_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            _checkpoint(tmp_path, every=0)

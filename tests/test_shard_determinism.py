@@ -79,6 +79,24 @@ class TestSerialShardedEquality:
         assert serial == two
         assert serial == four
 
+    def test_chaos_shard_maze(self, monkeypatch):
+        # the full chaos fault vocabulary — PAUSE storm at the incast
+        # root, a pod<->core trunk flap, an error burst on another
+        # boundary cable — driven through the sync protocol: recovery
+        # tracking, fault windows and victim accounting must all merge
+        # back to the serial answer exactly
+        from repro.experiments.chaos import chaos_fabric_scenario
+
+        scenario = dataclasses.replace(
+            chaos_fabric_scenario(0.5, duration_ns=units.us(300)),
+            invariants=InvariantConfig(mode="strict"),
+        )
+        serial = _result_json(scenario, 17, 1, monkeypatch)
+        two = _result_json(scenario, 17, 2, monkeypatch)
+        four = _result_json(scenario, 17, 4, monkeypatch)
+        assert serial == two
+        assert serial == four
+
     def test_k8_fabric_bench(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "smoke")
         scenario = fabric_benchmark_scenario()
